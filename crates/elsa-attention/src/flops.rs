@@ -1,0 +1,234 @@
+//! Operation counting for transformer inference (§II-B, Fig. 2).
+//!
+//! The cost model distinguishes the *attention kernel* — the `QKᵀ`, softmax
+//! and `S′V` steps that ELSA accelerates — from everything else in a layer
+//! (QKV/output projections and the FFN), because the paper's Fig. 2 is
+//! exactly the ratio between those two quantities and the GPU/TPU baselines
+//! are driven by these counts.
+//!
+//! Conventions: one multiply-accumulate = 2 FLOPs; one exponential/special
+//! function = 1 op (a single SFU instruction on GPU).
+
+use crate::transformer::TransformerConfig;
+
+/// FLOP breakdown for a single transformer encoder layer at sequence length
+/// `n`.
+///
+/// # Examples
+///
+/// ```
+/// use elsa_attention::{flops::LayerFlops, TransformerConfig};
+///
+/// let cfg = TransformerConfig::new(24, 1024, 16, 4096, 512);
+/// let layer = LayerFlops::for_layer(&cfg, 512);
+/// // The attention kernel is a minority of per-layer FLOPs at n = 512...
+/// assert!(layer.attention_kernel() < layer.total() / 2);
+/// // ...but grows quadratically with n.
+/// let long = LayerFlops::for_layer(&cfg, 2048);
+/// assert!(long.attention_kernel() > 15 * layer.attention_kernel());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LayerFlops {
+    /// Q, K, V input projections: `3 · n · d_model²` MACs.
+    pub qkv_projection: u64,
+    /// Similarity computation `QKᵀ` over all heads: `n² · d_model` MACs.
+    pub attention_scores: u64,
+    /// Softmax: `heads · n²` exponentials plus normalization.
+    pub softmax: u64,
+    /// Weighted sum `S′V` over all heads: `n² · d_model` MACs.
+    pub weighted_sum: u64,
+    /// Output projection: `n · d_model²` MACs.
+    pub output_projection: u64,
+    /// Feed-forward network: `2 · n · d_model · d_ff` MACs.
+    pub ffn: u64,
+    /// Residual adds + layer norms: `~8 · n · d_model` FLOPs.
+    pub other: u64,
+}
+
+impl LayerFlops {
+    /// Counts FLOPs for one encoder layer of `config` at sequence length `n`.
+    #[must_use]
+    pub fn for_layer(config: &TransformerConfig, n: usize) -> Self {
+        let n = n as u64;
+        let dm = config.d_model as u64;
+        let dff = config.d_ff as u64;
+        let h = config.num_heads as u64;
+        Self {
+            qkv_projection: 2 * 3 * n * dm * dm,
+            attention_scores: 2 * n * n * dm,
+            // exp + divide per score entry, per head.
+            softmax: 2 * h * n * n,
+            weighted_sum: 2 * n * n * dm,
+            output_projection: 2 * n * dm * dm,
+            ffn: 2 * 2 * n * dm * dff,
+            other: 8 * n * dm,
+        }
+    }
+
+    /// FLOPs of the part ELSA accelerates: scores + softmax + weighted sum.
+    #[must_use]
+    pub fn attention_kernel(&self) -> u64 {
+        self.attention_scores + self.softmax + self.weighted_sum
+    }
+
+    /// FLOPs of everything ELSA leaves on the host.
+    #[must_use]
+    pub fn non_attention(&self) -> u64 {
+        self.qkv_projection + self.output_projection + self.ffn + self.other
+    }
+
+    /// Total per-layer FLOPs.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.attention_kernel() + self.non_attention()
+    }
+
+    /// Fraction of layer FLOPs spent in the attention kernel.
+    #[must_use]
+    pub fn attention_fraction(&self) -> f64 {
+        self.attention_kernel() as f64 / self.total() as f64
+    }
+}
+
+/// FLOPs for the whole model (all layers) at sequence length `n`.
+#[must_use]
+pub fn model_flops(config: &TransformerConfig, n: usize) -> LayerFlops {
+    let l = LayerFlops::for_layer(config, n);
+    let layers = config.num_layers as u64;
+    LayerFlops {
+        qkv_projection: l.qkv_projection * layers,
+        attention_scores: l.attention_scores * layers,
+        softmax: l.softmax * layers,
+        weighted_sum: l.weighted_sum * layers,
+        output_projection: l.output_projection * layers,
+        ffn: l.ffn * layers,
+        other: l.other * layers,
+    }
+}
+
+/// MAC count of the ELSA *approximate* attention pipeline for one
+/// `n × d` attention head with hash length `k` (3-way Kronecker hashing) and
+/// `c̄` average selected candidates per query — the paper's §III-D cost
+/// accounting, used to show the algorithmic reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApproxAttentionOps {
+    /// Preprocessing: key hashes (`3·n·d^{4/3}`) + key norms (`n·d`).
+    pub preprocessing_macs: u64,
+    /// Query hashing: `3·n·d^{4/3}`.
+    pub query_hash_macs: u64,
+    /// Per-pair approximate similarity: Hamming (XOR+popcount, counted as 1
+    /// op per pair) + LUT + 1 multiply.
+    pub similarity_ops: u64,
+    /// Exact attention restricted to candidates: `2·c̄·n·d` MACs.
+    pub selected_attention_macs: u64,
+}
+
+impl ApproxAttentionOps {
+    /// Counts operations for `n` entities of dimension `d`, hash length `k`,
+    /// with `avg_candidates` keys surviving selection per query.
+    #[must_use]
+    pub fn count(n: usize, d: usize, avg_candidates: f64) -> Self {
+        let n64 = n as u64;
+        let d64 = d as u64;
+        let hash = 3 * (d64 as f64).powf(4.0 / 3.0).round() as u64;
+        let c = avg_candidates.max(0.0);
+        Self {
+            preprocessing_macs: n64 * hash + n64 * d64,
+            query_hash_macs: n64 * hash,
+            similarity_ops: 2 * n64 * n64,
+            selected_attention_macs: (2.0 * c * n as f64 * d as f64).round() as u64,
+        }
+    }
+
+    /// Total operation count.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.preprocessing_macs
+            + self.query_hash_macs
+            + self.similarity_ops
+            + self.selected_attention_macs
+    }
+}
+
+/// Exact attention MAC count for one head: `2·n²·d` MACs plus `n²` exps.
+#[must_use]
+pub fn exact_attention_ops(n: usize, d: usize) -> u64 {
+    let n = n as u64;
+    let d = d as u64;
+    2 * n * n * d + n * n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bert_large() -> TransformerConfig {
+        TransformerConfig::new(24, 1024, 16, 4096, 512)
+    }
+
+    #[test]
+    fn attention_fraction_grows_with_n() {
+        let cfg = bert_large();
+        let f512 = LayerFlops::for_layer(&cfg, 512).attention_fraction();
+        let f2048 = LayerFlops::for_layer(&cfg, 2048).attention_fraction();
+        assert!(f2048 > f512);
+        // Paper Fig. 2: ~38% average at published n rises to ~64% at 4x.
+        assert!(f512 > 0.05 && f512 < 0.5, "fraction at 512 = {f512}");
+        // (FLOP share; the *runtime* share of Fig. 2 is higher because GPU
+        // attention kernels run at lower efficiency than the dense GEMMs.)
+        assert!(f2048 > 0.2, "fraction at 2048 = {f2048}");
+    }
+
+    #[test]
+    fn attention_fraction_grows_when_ffn_shrinks() {
+        let cfg = bert_large();
+        let slim = cfg.with_ffn_scaled(0.25);
+        let f_full = LayerFlops::for_layer(&cfg, 512).attention_fraction();
+        let f_slim = LayerFlops::for_layer(&slim, 512).attention_fraction();
+        assert!(f_slim > f_full);
+    }
+
+    #[test]
+    fn model_flops_scale_linearly_in_layers() {
+        let cfg = bert_large();
+        let one = LayerFlops::for_layer(&cfg, 512).total();
+        let all = model_flops(&cfg, 512).total();
+        assert_eq!(all, one * 24);
+    }
+
+    #[test]
+    fn attention_kernel_formula() {
+        // n² d MACs for scores and n² d for weighted sum => 4 n² d FLOPs + softmax.
+        let cfg = TransformerConfig::new(1, 64, 1, 256, 128);
+        let l = LayerFlops::for_layer(&cfg, 128);
+        assert_eq!(l.attention_scores, 2 * 128 * 128 * 64);
+        assert_eq!(l.weighted_sum, 2 * 128 * 128 * 64);
+        assert_eq!(l.softmax, 2 * 128 * 128);
+    }
+
+    #[test]
+    fn approx_ops_beat_exact_when_candidates_few() {
+        let n = 512;
+        let d = 64;
+        let exact = exact_attention_ops(n, d);
+        let approx = ApproxAttentionOps::count(n, d, 0.2 * n as f64);
+        assert!(
+            approx.total() < exact / 2,
+            "approx {} vs exact {exact}",
+            approx.total()
+        );
+    }
+
+    #[test]
+    fn approx_preprocessing_matches_paper_formula() {
+        // 3 n d^{4/3} + n d multiplications (§III-D).
+        let ops = ApproxAttentionOps::count(512, 64, 100.0);
+        assert_eq!(ops.preprocessing_macs, 512 * (3 * 256) + 512 * 64);
+        assert_eq!(ops.query_hash_macs, 512 * 768);
+    }
+
+    #[test]
+    fn exact_ops_formula() {
+        assert_eq!(exact_attention_ops(128, 64), 2 * 128 * 128 * 64 + 128 * 128);
+    }
+}

@@ -1,0 +1,236 @@
+//! Multi-head attention: the per-head projection machinery that surrounds
+//! the self-attention kernel inside transformer layers.
+//!
+//! ELSA accelerates the kernel itself; the projections (`W_Q`, `W_K`, `W_V`,
+//! `W_O`) stay on the host device. This module exists so that workloads can
+//! run genuine end-to-end transformer forward passes and so FLOP accounting
+//! (Fig. 2) can separate projection cost from attention cost.
+
+use elsa_linalg::{Matrix, SeededRng};
+
+use crate::exact::{self, AttentionInputs};
+
+/// A multi-head self-attention block with `h` heads of dimension `d_head`
+/// over a model dimension `d_model = h · d_head`.
+///
+/// # Examples
+///
+/// ```
+/// use elsa_attention::MultiHeadAttention;
+/// use elsa_linalg::{Matrix, SeededRng};
+///
+/// let mha = MultiHeadAttention::random(128, 2, 64, &mut SeededRng::new(0));
+/// let x = Matrix::zeros(10, 128);
+/// let y = mha.forward(&x);
+/// assert_eq!((y.rows(), y.cols()), (10, 128));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiHeadAttention {
+    d_model: usize,
+    num_heads: usize,
+    d_head: usize,
+    /// Per-head query/key/value projections, each `d_model × d_head`.
+    w_q: Vec<Matrix>,
+    w_k: Vec<Matrix>,
+    w_v: Vec<Matrix>,
+    /// Output projection, `d_model × d_model` (heads concatenated).
+    w_o: Matrix,
+}
+
+impl MultiHeadAttention {
+    /// Builds a block with random Gaussian projections scaled by
+    /// `1/√d_model` (Xavier-style), as a stand-in for trained weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_model != num_heads * d_head` or any dimension is zero.
+    #[must_use]
+    pub fn random(d_model: usize, num_heads: usize, d_head: usize, rng: &mut SeededRng) -> Self {
+        assert!(d_model > 0 && num_heads > 0 && d_head > 0);
+        assert_eq!(d_model, num_heads * d_head, "d_model must equal num_heads * d_head");
+        let scale = 1.0 / (d_model as f64).sqrt();
+        let proj = |rng: &mut SeededRng| {
+            Matrix::from_fn(d_model, d_head, |_, _| (rng.standard_normal() * scale) as f32)
+        };
+        let w_q = (0..num_heads).map(|_| proj(rng)).collect();
+        let w_k = (0..num_heads).map(|_| proj(rng)).collect();
+        let w_v = (0..num_heads).map(|_| proj(rng)).collect();
+        let w_o =
+            Matrix::from_fn(d_model, d_model, |_, _| (rng.standard_normal() * scale) as f32);
+        Self { d_model, num_heads, d_head, w_q, w_k, w_v, w_o }
+    }
+
+    /// Builds a block whose key projection equals its query projection
+    /// (`W_K = W_Q`), scaled by `gain`. Symmetric projections make the
+    /// attention score a true similarity (`(Wx_i)·(Wx_j)`), so structured
+    /// inputs produce the peaked, content-based attention patterns trained
+    /// models exhibit — useful for multi-layer quality studies where plain
+    /// random projections would wash structure out after one layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_model != num_heads * d_head`, any dimension is zero, or
+    /// `gain` is not positive.
+    #[must_use]
+    pub fn random_symmetric(
+        d_model: usize,
+        num_heads: usize,
+        d_head: usize,
+        gain: f64,
+        rng: &mut SeededRng,
+    ) -> Self {
+        assert!(gain > 0.0, "gain must be positive");
+        let mut block = Self::random(d_model, num_heads, d_head, rng);
+        for h in 0..num_heads {
+            let scaled = block.w_q[h].scale(gain as f32);
+            block.w_q[h] = scaled.clone();
+            block.w_k[h] = scaled;
+        }
+        block
+    }
+
+    /// Model dimension.
+    #[must_use]
+    pub const fn d_model(&self) -> usize {
+        self.d_model
+    }
+
+    /// Number of heads.
+    #[must_use]
+    pub const fn num_heads(&self) -> usize {
+        self.num_heads
+    }
+
+    /// Per-head dimension.
+    #[must_use]
+    pub const fn d_head(&self) -> usize {
+        self.d_head
+    }
+
+    /// Projects the input into this head's `(Q, K, V)` triple — the tensors
+    /// a host device would hand to the ELSA accelerator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head >= num_heads` or `x.cols() != d_model`.
+    #[must_use]
+    pub fn project_head(&self, x: &Matrix, head: usize) -> AttentionInputs {
+        assert!(head < self.num_heads, "head {head} out of range");
+        assert_eq!(x.cols(), self.d_model, "input dimension mismatch");
+        AttentionInputs::new(
+            x.matmul(&self.w_q[head]),
+            x.matmul(&self.w_k[head]),
+            x.matmul(&self.w_v[head]),
+        )
+    }
+
+    /// Full forward pass: per-head scaled attention, concatenation, output
+    /// projection.
+    #[must_use]
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        self.forward_with(x, exact::scaled_attention)
+    }
+
+    /// Forward pass with a caller-supplied attention kernel (exact,
+    /// approximate, or hardware-simulated) — the seam where ELSA plugs in.
+    #[must_use]
+    pub fn forward_with(
+        &self,
+        x: &Matrix,
+        mut kernel: impl FnMut(&AttentionInputs) -> Matrix,
+    ) -> Matrix {
+        let n = x.rows();
+        let mut concat = Matrix::zeros(n, self.d_model);
+        for h in 0..self.num_heads {
+            let inputs = self.project_head(x, h);
+            let head_out = kernel(&inputs);
+            for r in 0..n {
+                let dst = concat.row_mut(r);
+                dst[h * self.d_head..(h + 1) * self.d_head].copy_from_slice(head_out.row(r));
+            }
+        }
+        concat.matmul(&self.w_o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = SeededRng::new(1);
+        let mha = MultiHeadAttention::random(64, 4, 16, &mut rng);
+        let x = Matrix::from_fn(12, 64, |_, _| rng.standard_normal() as f32);
+        let y = mha.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (12, 64));
+    }
+
+    #[test]
+    fn forward_with_exact_kernel_matches_forward() {
+        let mut rng = SeededRng::new(2);
+        let mha = MultiHeadAttention::random(32, 2, 16, &mut rng);
+        let x = Matrix::from_fn(6, 32, |_, _| rng.standard_normal() as f32);
+        let a = mha.forward(&x);
+        let b = mha.forward_with(&x, exact::scaled_attention);
+        assert!(a.max_abs_diff(&b) < 1e-6);
+    }
+
+    #[test]
+    fn project_head_shapes() {
+        let mut rng = SeededRng::new(3);
+        let mha = MultiHeadAttention::random(48, 3, 16, &mut rng);
+        let x = Matrix::from_fn(5, 48, |_, _| rng.standard_normal() as f32);
+        let inputs = mha.project_head(&x, 2);
+        assert_eq!(inputs.num_queries(), 5);
+        assert_eq!(inputs.dim(), 16);
+    }
+
+    #[test]
+    fn kernel_substitution_changes_output() {
+        let mut rng = SeededRng::new(4);
+        let mha = MultiHeadAttention::random(32, 2, 16, &mut rng);
+        let x = Matrix::from_fn(6, 32, |_, _| rng.standard_normal() as f32);
+        let exact_out = mha.forward(&x);
+        // A degenerate kernel (always value row 0) must flow through.
+        let degenerate = mha.forward_with(&x, |inputs| {
+            Matrix::from_fn(inputs.num_queries(), inputs.value().cols(), |_, c| {
+                inputs.value()[(0, c)]
+            })
+        });
+        assert!(exact_out.max_abs_diff(&degenerate) > 1e-4);
+    }
+
+    #[test]
+    fn symmetric_projections_share_weights() {
+        let mut rng = SeededRng::new(9);
+        let mha = MultiHeadAttention::random_symmetric(32, 2, 16, 2.0, &mut rng);
+        let x = Matrix::from_fn(5, 32, |_, _| rng.standard_normal() as f32);
+        for h in 0..2 {
+            let inputs = mha.project_head(&x, h);
+            assert_eq!(inputs.query(), inputs.key());
+        }
+    }
+
+    #[test]
+    fn symmetric_attention_is_self_peaked_on_clusters() {
+        // Two identical tokens must attend to each other strongly.
+        let mut rng = SeededRng::new(10);
+        let mha = MultiHeadAttention::random_symmetric(32, 2, 16, 3.0, &mut rng);
+        let proto = Matrix::from_fn(1, 32, |_, _| rng.standard_normal() as f32);
+        let x = Matrix::from_fn(6, 32, |r, c| {
+            if r < 2 { proto[(0, c)] * 2.0 } else { rng.standard_normal() as f32 }
+        });
+        let inputs = mha.project_head(&x, 0);
+        let scores = exact::normalized_scores(&inputs, 0.25);
+        // Token 0's attention mass on tokens {0, 1} (its twin cluster).
+        let mass = scores[(0, 0)] + scores[(0, 1)];
+        assert!(mass > 0.6, "cluster mass {mass}");
+    }
+
+    #[test]
+    #[should_panic(expected = "d_model must equal")]
+    fn rejects_bad_head_split() {
+        let _ = MultiHeadAttention::random(60, 4, 16, &mut SeededRng::new(0));
+    }
+}

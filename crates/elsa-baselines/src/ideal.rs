@@ -1,0 +1,99 @@
+//! The *ideal* dense accelerator of §V-C.
+//!
+//! "We compare ELSA configurations with an ideal accelerator, which can
+//! sustain 100% peak FP throughput at 1 GHz frequency, while having the same
+//! number (i.e., 528) of multipliers with the ELSA-base accelerator. This is
+//! effectively an upper-bound of performance for the other matrix
+//! multiplication accelerators *without* approximation."
+//!
+//! Like ELSA (and unlike the GPU), the ideal accelerator skips padding rows.
+
+use crate::AttentionDevice;
+
+/// An accelerator that retires one MAC per multiplier per cycle, always.
+///
+/// # Examples
+///
+/// ```
+/// use elsa_baselines::{AttentionDevice, IdealAccelerator};
+/// let ideal = IdealAccelerator::paper();
+/// // 2·n²·d MACs over 528 multipliers at 1 GHz (rounded up to whole cycles).
+/// let t = ideal.attention_latency_s(512, 512, 64);
+/// let cycles = (2u64 * 512 * 512 * 64).div_ceil(528);
+/// assert!((t - cycles as f64 * 1e-9).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdealAccelerator {
+    /// Number of multipliers.
+    pub multipliers: usize,
+    /// Clock frequency in GHz.
+    pub clock_ghz: f64,
+    /// Number of replicated units (matching ELSA's batch parallelism).
+    pub num_units: usize,
+}
+
+impl IdealAccelerator {
+    /// The paper's configuration: 528 multipliers at 1 GHz, twelve units.
+    #[must_use]
+    pub const fn paper() -> Self {
+        Self { multipliers: 528, clock_ghz: 1.0, num_units: 12 }
+    }
+
+    /// Cycles for one `n × d` attention invocation:
+    /// `2·n²·d` MACs spread perfectly over the multipliers.
+    #[must_use]
+    pub fn attention_cycles(&self, n: usize, d: usize) -> u64 {
+        let macs = 2 * (n as u64) * (n as u64) * (d as u64);
+        macs.div_ceil(self.multipliers as u64)
+    }
+}
+
+impl AttentionDevice for IdealAccelerator {
+    fn name(&self) -> &str {
+        "Ideal accelerator"
+    }
+
+    fn attention_latency_s(&self, n_real: usize, _n_padded: usize, d: usize) -> f64 {
+        self.attention_cycles(n_real, d) as f64 * 1e-9 / self.clock_ghz
+    }
+
+    fn peak_flops(&self) -> f64 {
+        2.0 * self.multipliers as f64 * self.clock_ghz * 1e9 * self.num_units as f64
+    }
+
+    fn attention_throughput(&self, n_real: usize, n_padded: usize, d: usize) -> f64 {
+        self.num_units as f64 / self.attention_latency_s(n_real, n_padded, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_formula() {
+        let ideal = IdealAccelerator::paper();
+        assert_eq!(ideal.attention_cycles(512, 64), (2 * 512 * 512 * 64u64).div_ceil(528));
+    }
+
+    #[test]
+    fn skips_padding() {
+        let ideal = IdealAccelerator::paper();
+        assert!(ideal.attention_latency_s(128, 512, 64) < ideal.attention_latency_s(512, 512, 64));
+    }
+
+    #[test]
+    fn peak_close_to_thirteen_tops() {
+        let ideal = IdealAccelerator::paper();
+        let tops = ideal.peak_flops() / 1e12;
+        assert!((12.0..=13.5).contains(&tops), "{tops}");
+    }
+
+    #[test]
+    fn throughput_scales_with_units() {
+        let one = IdealAccelerator { num_units: 1, ..IdealAccelerator::paper() };
+        let twelve = IdealAccelerator::paper();
+        let r = twelve.attention_throughput(512, 512, 64) / one.attention_throughput(512, 512, 64);
+        assert!((r - 12.0).abs() < 1e-9);
+    }
+}

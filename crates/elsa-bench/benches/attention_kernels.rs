@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks of the attention kernels: exact attention,
+//! candidate-restricted attention, and the full ELSA approximate operator,
+//! across sequence lengths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elsa_attention::exact;
+use elsa_core::attention::{ElsaAttention, ElsaParams};
+use elsa_linalg::SeededRng;
+use elsa_workloads::AttentionPatternConfig;
+
+fn bench_attention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attention");
+    group.sample_size(20);
+    for &n in &[128usize, 256, 512] {
+        let cfg = AttentionPatternConfig::new(n, 64, 6, 2.0);
+        let mut rng = SeededRng::new(1);
+        let train = cfg.generate(&mut rng);
+        let inputs = cfg.generate(&mut rng);
+        let mut rng2 = SeededRng::new(2);
+        let operator =
+            ElsaAttention::learn(ElsaParams::for_dims(64, 64, &mut rng2), &[train], 1.0);
+
+        group.bench_with_input(BenchmarkId::new("exact", n), &inputs, |b, inputs| {
+            b.iter(|| exact::attention(inputs));
+        });
+        group.bench_with_input(BenchmarkId::new("elsa_approx", n), &inputs, |b, inputs| {
+            b.iter(|| operator.forward(inputs));
+        });
+        let (cands, _) = operator.candidates(&inputs);
+        group.bench_with_input(
+            BenchmarkId::new("candidate_attention", n),
+            &inputs,
+            |b, inputs| {
+                b.iter(|| exact::attention_with_candidates(inputs, &cands, 1.0));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attention);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion micro-benchmarks of the hash-computation paths: dense
+//! projection vs the 2-way and 3-way Kronecker transforms, plus Hamming
+//! distance and the full preprocessing of a key matrix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elsa_core::attention::{ElsaParams, PreprocessedKeys};
+use elsa_core::hashing::SrpHasher;
+use elsa_linalg::{Matrix, SeededRng};
+
+fn bench_hashing(c: &mut Criterion) {
+    let d = 64;
+    let mut rng = SeededRng::new(3);
+    let x = rng.normal_vec(d);
+    let variants: Vec<(&str, SrpHasher)> = vec![
+        ("dense", SrpHasher::dense(d, d, &mut rng)),
+        ("kronecker2", SrpHasher::kronecker_two_way(d, &mut rng)),
+        ("kronecker3", SrpHasher::kronecker_three_way(d, &mut rng)),
+    ];
+    let mut group = c.benchmark_group("hash_single_vector");
+    for (name, hasher) in &variants {
+        group.bench_with_input(BenchmarkId::from_parameter(name), hasher, |b, h| {
+            b.iter(|| h.hash(&x));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("hamming");
+    let h1 = variants[0].1.hash(&x);
+    let y = rng.normal_vec(d);
+    let h2 = variants[0].1.hash(&y);
+    group.bench_function("k64", |b| b.iter(|| h1.hamming(&h2)));
+    group.finish();
+
+    let mut group = c.benchmark_group("preprocess_keys");
+    group.sample_size(20);
+    for &n in &[128usize, 512] {
+        let keys = Matrix::from_fn(n, d, |_, _| rng.standard_normal() as f32);
+        let mut rng2 = SeededRng::new(4);
+        let params = ElsaParams::for_dims(d, d, &mut rng2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &keys, |b, keys| {
+            b.iter(|| PreprocessedKeys::compute(&params, keys));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashing);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks of the cycle-level pipeline simulator and the
+//! quantized functional datapath — the costs of *running the simulation*
+//! itself, which bound how large an experiment sweep can be.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elsa_core::attention::{ElsaAttention, ElsaParams};
+use elsa_linalg::SeededRng;
+use elsa_sim::cycle::{simulate_execution, simulate_execution_base};
+use elsa_sim::functional::QuantizedElsaAttention;
+use elsa_sim::AcceleratorConfig;
+use elsa_workloads::AttentionPatternConfig;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let cfg = AcceleratorConfig::paper();
+    let n = 512;
+    let mut group = c.benchmark_group("cycle_sim");
+    group.bench_function("base_n512", |b| {
+        b.iter(|| simulate_execution_base(&cfg, n, n));
+    });
+    let sparse: Vec<Vec<usize>> = (0..n).map(|i| vec![i, (i + 7) % n, (i + 31) % n]).collect();
+    group.bench_function("sparse_n512", |b| {
+        b.iter(|| simulate_execution(&cfg, n, &sparse, false));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("quantized_datapath");
+    group.sample_size(10);
+    for &n in &[64usize, 128] {
+        let pattern = AttentionPatternConfig::new(n, 64, 4, 2.0);
+        let mut rng = SeededRng::new(5);
+        let train = pattern.generate(&mut rng);
+        let inputs = pattern.generate(&mut rng);
+        let mut rng2 = SeededRng::new(6);
+        let operator =
+            ElsaAttention::learn(ElsaParams::for_dims(64, 64, &mut rng2), &[train], 1.0);
+        let quant = QuantizedElsaAttention::from_reference(&operator);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inputs, |b, inputs| {
+            b.iter(|| quant.forward(inputs));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

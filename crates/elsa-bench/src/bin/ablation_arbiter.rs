@@ -1,0 +1,66 @@
+//! **Ablation / §IV-C** — selection-queue depth and arbitration policy:
+//! the detailed per-module-queue model versus the coarse bank model, and
+//! longest-queue-first versus round-robin arbitration.
+//!
+//! Run: `cargo run --release -p elsa-bench --bin ablation_arbiter`
+
+use elsa_bench::table::Table;
+use elsa_linalg::SeededRng;
+use elsa_sim::arbiter::{simulate_bank_drain_queued, ArbiterPolicy};
+use elsa_sim::cycle::simulate_bank_drain;
+
+fn main() {
+    let p_c = 8;
+    let bank_keys = 128;
+    let mut rng = SeededRng::new(40);
+    println!("Ablation — selection output queues and arbitration (one bank, P_c = 8, 128 keys)\n");
+    let mut table = Table::new(&[
+        "candidate pattern",
+        "coarse model",
+        "LQF depth=inf",
+        "LQF depth=2",
+        "LQF depth=1",
+        "RR depth=2",
+        "stalls (LQF d=1)",
+    ]);
+    let patterns: Vec<(&str, Vec<usize>)> = vec![
+        ("dense (all keys)", (0..bank_keys).collect()),
+        ("uniform 25%", (0..bank_keys).step_by(4).collect()),
+        ("uniform 6%", (0..bank_keys).step_by(16).collect()),
+        ("burst at end", (112..bank_keys).collect()),
+        ("single module hot", (0..16).map(|i| i * 8).collect()), // module 0's stripe
+        ("random 25%", {
+            let mut v = rng.sample_indices(bank_keys, 32);
+            v.sort_unstable();
+            v
+        }),
+    ];
+    for (name, positions) in &patterns {
+        let coarse = simulate_bank_drain(p_c, bank_keys, positions);
+        let deep = simulate_bank_drain_queued(
+            p_c,
+            bank_keys,
+            positions,
+            1 << 16,
+            ArbiterPolicy::LongestQueueFirst,
+        );
+        let d2 =
+            simulate_bank_drain_queued(p_c, bank_keys, positions, 2, ArbiterPolicy::LongestQueueFirst);
+        let d1 =
+            simulate_bank_drain_queued(p_c, bank_keys, positions, 1, ArbiterPolicy::LongestQueueFirst);
+        let rr2 = simulate_bank_drain_queued(p_c, bank_keys, positions, 2, ArbiterPolicy::RoundRobin);
+        table.row(&[
+            (*name).to_string(),
+            coarse.to_string(),
+            deep.finish_cycle.to_string(),
+            d2.finish_cycle.to_string(),
+            d1.finish_cycle.to_string(),
+            rr2.finish_cycle.to_string(),
+            d1.stall_cycles.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nsmall per-module queues suffice: the attention module drains one\ncandidate per cycle anyway, so backpressure stalls only reorder the scan\n(longest-queue-first keeps the hottest queue bounded, §IV-C)"
+    );
+}

@@ -1,0 +1,66 @@
+//! **Ablation / §IV-E "Choice of Hash Length k"** — sweep the hash length:
+//! longer hashes estimate angles better (higher metric at equal p) but cost
+//! more hash computation, storage and selection-module area.
+//!
+//! Run: `cargo run --release -p elsa-bench --bin ablation_hash_length`
+
+use elsa_bench::table::{fmt, Table};
+use elsa_core::attention::{ElsaAttention, ElsaParams};
+use elsa_core::calibration::{calibrate_theta_bias, CalibrationConfig};
+use elsa_core::hashing::SrpHasher;
+use elsa_linalg::SeededRng;
+use elsa_workloads::tasks::ClassificationProbe;
+use elsa_workloads::AttentionPatternConfig;
+
+fn main() {
+    let d = 64;
+    let n = 512;
+    let cfg = AttentionPatternConfig::new(n, d, 6, 2.0);
+    let mut rng = SeededRng::new(11);
+    let train = cfg.generate_batch(2, &mut rng);
+    let test = cfg.generate_batch(3, &mut rng);
+    let probe = ClassificationProbe::new(16, d, &mut rng);
+    println!("Ablation — hash length k (d = 64, p = 1, n = 512)\n");
+    let mut table = Table::new(&[
+        "k",
+        "θ_bias",
+        "metric (%)",
+        "candidates (%)",
+        "hash mults/vec",
+        "hash SRAM (KB)",
+    ]);
+    for k in [8usize, 16, 32, 64, 128] {
+        let mut fork = rng.fork(k as u64);
+        let bias = if k == 64 {
+            elsa_core::THETA_BIAS_D64_K64
+        } else {
+            let cal = CalibrationConfig { d, k, pairs: 1500, hasher_draws: 4, percentile: 80.0 };
+            calibrate_theta_bias(&cal, &mut fork)
+        };
+        let hasher = SrpHasher::dense(k, d, &mut fork);
+        let mults = hasher.multiplication_count();
+        let params = ElsaParams::new(hasher, bias, 1.0);
+        let operator = ElsaAttention::learn(params, &train, 1.0);
+        let mut metric = 0.0;
+        let mut cand = 0.0;
+        for inputs in &test {
+            let exact = elsa_attention::exact::attention(inputs);
+            let (out, stats) = operator.forward(inputs);
+            metric += probe.agreement(&exact, &out);
+            cand += stats.candidate_fraction();
+        }
+        let count = test.len() as f64;
+        table.row(&[
+            k.to_string(),
+            fmt(bias, 3),
+            fmt(metric / count * 100.0, 2),
+            fmt(cand / count * 100.0, 1),
+            mults.to_string(),
+            fmt((n * k) as f64 / 8.0 / 1024.0, 2),
+        ]);
+    }
+    table.print();
+    println!(
+        "\npaper: k = d works well as long as k is not too small (< 16); larger k\nimproves the estimate but grows hash cost, storage, and selection area"
+    );
+}

@@ -1,0 +1,53 @@
+//! **Ablation / §III-C** — dense vs 2-way vs 3-way Kronecker hash
+//! computation: multiplication counts against angle-estimation quality.
+//! The structured transform should cut cost 4–5× with no quality loss.
+//!
+//! Run: `cargo run --release -p elsa-bench --bin ablation_kronecker`
+
+use elsa_bench::table::{fmt, Table};
+use elsa_core::hashing::{estimate_angle, SrpHasher};
+use elsa_linalg::{ops, SeededRng};
+
+fn mean_abs_error(hasher: &SrpHasher, rng: &mut SeededRng, trials: usize) -> f64 {
+    let d = hasher.dim();
+    let mut err = 0.0;
+    for _ in 0..trials {
+        let a = rng.normal_vec(d);
+        let b = rng.normal_vec(d);
+        let truth = ops::angle_between(&a, &b);
+        let est = estimate_angle(hasher.hash(&a).hamming(&hasher.hash(&b)), hasher.k());
+        err += (est - truth).abs();
+    }
+    err / trials as f64
+}
+
+fn main() {
+    let d = 64;
+    let trials = 2000;
+    let mut rng = SeededRng::new(12);
+    println!("Ablation — hash projection structure (d = k = 64)\n");
+    let mut table = Table::new(&[
+        "projection",
+        "mults/hash",
+        "hash cycles (m_h=256)",
+        "mean |angle error| (rad)",
+    ]);
+    let variants: Vec<(&str, SrpHasher)> = vec![
+        ("dense orthogonal", SrpHasher::dense(d, d, &mut rng)),
+        ("2-way Kronecker (8x8 ⊗ 8x8)", SrpHasher::kronecker_two_way(d, &mut rng)),
+        ("3-way Kronecker (4x4 ⊗ 4x4 ⊗ 4x4)", SrpHasher::kronecker_three_way(d, &mut rng)),
+    ];
+    for (name, hasher) in &variants {
+        let mults = hasher.multiplication_count();
+        table.row(&[
+            (*name).to_string(),
+            mults.to_string(),
+            (mults as u64).div_ceil(256).to_string(),
+            fmt(mean_abs_error(hasher, &mut rng, trials), 4),
+        ]);
+    }
+    table.print();
+    println!(
+        "\npaper: dense needs d^2 = 4096 multiplies, 2-way 2·d^1.5 = 1024,\n3-way 3·d^(4/3) = 768 — with identical estimator quality (all orthogonal)"
+    );
+}

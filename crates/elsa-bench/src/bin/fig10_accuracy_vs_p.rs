@@ -1,0 +1,58 @@
+//! **E2 / Fig. 10** — proxy accuracy (lines) and candidate fraction (bars)
+//! versus the approximation-degree hyperparameter `p`, per model–dataset
+//! combination.
+//!
+//! Run: `cargo run --release -p elsa-bench --bin fig10_accuracy_vs_p`
+
+use elsa_bench::harness::{sweep_p, HarnessOptions};
+use elsa_bench::table::{fmt, Table};
+use elsa_workloads::workload::{Workload, P_GRID};
+
+fn main() {
+    let opts = HarnessOptions::default();
+    println!("Fig. 10 — accuracy metric and candidate fraction vs p\n");
+    for workload in Workload::all() {
+        let sweep = sweep_p(&workload, &opts);
+        println!(
+            "{}  (metric: {}, relative to exact = 100)",
+            workload.name(),
+            workload.dataset.metric_name()
+        );
+        let mut table = Table::new(&["p", "metric (%)", "loss (%)", "candidates (%)"]);
+        for eval in &sweep {
+            table.row(&[
+                fmt(eval.p, 2),
+                fmt(eval.metric * 100.0, 2),
+                fmt(eval.loss_percent(), 2),
+                fmt(eval.stats.candidate_fraction() * 100.0, 1),
+            ]);
+        }
+        table.print();
+        println!();
+    }
+    // Headline claims of §V-B.
+    let opts = HarnessOptions::default();
+    let mut frac_at_p1 = Vec::new();
+    let mut frac_at_p2 = Vec::new();
+    for workload in Workload::all() {
+        let sweep = sweep_p(&workload, &opts);
+        for eval in &sweep {
+            if (eval.p - 1.0).abs() < 1e-9 {
+                frac_at_p1.push(eval.stats.candidate_fraction());
+            }
+            if (eval.p - 2.0).abs() < 1e-9 {
+                frac_at_p2.push(eval.stats.candidate_fraction());
+            }
+        }
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "average candidate fraction at p=1: {:.1}% (paper: <40% with sub-1% loss)",
+        avg(&frac_at_p1) * 100.0
+    );
+    println!(
+        "average candidate fraction at p=2: {:.1}% (paper: ~26% with sub-2% loss)",
+        avg(&frac_at_p2) * 100.0
+    );
+    let _ = P_GRID;
+}

@@ -1,0 +1,35 @@
+//! **E10 / §IV-A** — the motivating negative result: running ELSA's
+//! approximation scheme *on the GPU* is slower than just doing the exact
+//! attention, because Hamming/LUT/compare work maps badly onto CUDA cores.
+//! The paper measured a 3.14× slowdown.
+//!
+//! Run: `cargo run --release -p elsa-bench --bin gpu_approx_slowdown`
+
+use elsa_baselines::GpuModel;
+use elsa_bench::table::{fmt, Table};
+
+fn main() {
+    let gpu = GpuModel::v100();
+    println!("§IV-A — ELSA approximation executed on the V100 (BERT-like, d = 64)\n");
+    let mut table = Table::new(&[
+        "n",
+        "exact attention (us)",
+        "approx on GPU (us)",
+        "slowdown",
+    ]);
+    for n in [128usize, 256, 512, 1024] {
+        let exact = gpu.attention_kernel_time_s(n, 64);
+        // 35% of keys survive selection — the conservative operating regime.
+        let approx = gpu.approx_attention_time_s(n, 64, 0.35 * n as f64);
+        table.row(&[
+            n.to_string(),
+            fmt(exact * 1e6, 1),
+            fmt(approx * 1e6, 1),
+            format!("{:.2}x", approx / exact),
+        ]);
+    }
+    table.print();
+    println!(
+        "\npaper: 3.14x slowdown at the evaluation configuration — the reduction in\narithmetic only pays off in specialized hardware (the co-design argument)"
+    );
+}

@@ -1,0 +1,33 @@
+//! **E5 / Table I** — per-module area and peak power of the ELSA
+//! accelerator at the paper's synthesis configuration
+//! (`n=512, d=64, P_a=4, P_c=8, m_h=256, m_o=16`, TSMC 40 nm @ 1 GHz).
+//!
+//! Run: `cargo run --release -p elsa-bench --bin table1_area_power`
+
+use elsa_sim::{AcceleratorConfig, AreaPowerTable};
+
+fn main() {
+    let config = AcceleratorConfig::paper();
+    let table = AreaPowerTable::for_config(&config);
+    println!("Table I — area and (peak) power characteristics of ELSA\n");
+    print!("{}", table.to_markdown());
+    println!();
+    println!(
+        "single accelerator peak power: {:.2} W (paper: ~1.49 W incl. external memories)",
+        table.peak_power_w()
+    );
+    println!(
+        "twelve accelerators peak power: {:.2} W (paper: ~17.93 W)",
+        table.aggregate_peak_power_w()
+    );
+    println!(
+        "accelerator area: {:.3} mm^2 + external memories {:.3} mm^2 (paper: 1.255 + 0.892)",
+        table.accelerator_area_mm2(),
+        table.external_area_mm2()
+    );
+    println!(
+        "peak throughput: {:.3} TOPS/accelerator, {:.1} TOPS aggregate (paper: 1.088 / ~13)",
+        config.peak_ops_per_second() / 1e12,
+        config.aggregate_peak_ops_per_second() / 1e12
+    );
+}

@@ -1,0 +1,20 @@
+//! Shared harness for the per-figure benchmark binaries.
+//!
+//! Every table and figure of the paper's evaluation section has a binary in
+//! `src/bin/` (see `DESIGN.md` §3 for the index). The heavy lifting —
+//! sweeping the approximation degree `p` per workload, picking the
+//! conservative / moderate / aggressive operating points, and running the
+//! cycle-level accelerator simulation — lives here so the binaries stay
+//! declarative.
+//!
+//! All entry points are deterministic: they take explicit seeds and the
+//! binaries use fixed defaults, so two runs print identical numbers.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod harness;
+pub mod table;
+
+pub use harness::{ElsaPoint, PointResult, WorkloadPerf};
+pub use table::Table;

@@ -1,0 +1,238 @@
+//! Streaming, query-at-a-time execution — the software mirror of the
+//! hardware's flow (§IV-B): preprocess the key/value matrices once, then
+//! feed queries one by one, each producing one output row.
+//!
+//! The session also supports *bounded* (causal) selection: restricting the
+//! scan to a key prefix is free in hardware (the selection modules simply
+//! stop earlier), and it is how the sequential recommenders (SASRec attends
+//! only to previous interactions) run on ELSA.
+
+use elsa_attention::exact::AttentionInputs;
+use elsa_linalg::{ops, Matrix};
+
+use crate::attention::{ElsaAttention, PreprocessedKeys, SelectionStats};
+use crate::hashing::BinaryHash;
+
+/// A preprocessed key/value context accepting a stream of queries.
+///
+/// # Examples
+///
+/// ```
+/// use elsa_core::attention::{ElsaAttention, ElsaParams};
+/// use elsa_core::session::ElsaSession;
+/// use elsa_linalg::{Matrix, SeededRng};
+///
+/// let mut rng = SeededRng::new(1);
+/// let keys = Matrix::from_fn(32, 64, |_, _| rng.standard_normal() as f32);
+/// let values = Matrix::from_fn(32, 64, |_, _| rng.standard_normal() as f32);
+/// let operator = ElsaAttention::exact_fallback(ElsaParams::for_dims(64, 64, &mut rng));
+/// let mut session = ElsaSession::new(&operator, &keys, &values);
+/// let q = rng.normal_vec(64);
+/// let row = session.query(&q);
+/// assert_eq!(row.len(), 64);
+/// assert_eq!(session.stats().num_queries, 1);
+/// ```
+#[derive(Debug)]
+pub struct ElsaSession<'a> {
+    operator: &'a ElsaAttention,
+    keys: &'a Matrix,
+    values: &'a Matrix,
+    pre: PreprocessedKeys,
+    stats: SelectionStats,
+}
+
+impl<'a> ElsaSession<'a> {
+    /// Preprocesses the keys (hashes + norms) for the given operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` and `values` have different row counts, the key
+    /// dimension differs from the operator's, or `keys` is empty.
+    #[must_use]
+    pub fn new(operator: &'a ElsaAttention, keys: &'a Matrix, values: &'a Matrix) -> Self {
+        assert!(keys.rows() > 0, "session needs at least one key");
+        assert_eq!(keys.rows(), values.rows(), "key/value row mismatch");
+        assert_eq!(keys.cols(), operator.params().hasher().dim(), "key dimension mismatch");
+        let pre = PreprocessedKeys::compute(operator.params(), keys);
+        let stats = SelectionStats {
+            num_keys: keys.rows(),
+            ..SelectionStats::default()
+        };
+        Self { operator, keys, values, pre, stats }
+    }
+
+    /// Number of keys in the context.
+    #[must_use]
+    pub fn num_keys(&self) -> usize {
+        self.keys.rows()
+    }
+
+    /// The preprocessing product (hashes/norms), for inspection.
+    #[must_use]
+    pub fn preprocessed(&self) -> &PreprocessedKeys {
+        &self.pre
+    }
+
+    /// Accumulated selection statistics over all queries so far.
+    #[must_use]
+    pub const fn stats(&self) -> SelectionStats {
+        self.stats
+    }
+
+    /// Processes one query against the full context, returning its output
+    /// row.
+    #[must_use]
+    pub fn query(&mut self, q: &[f32]) -> Vec<f32> {
+        self.query_bounded(q, self.keys.rows())
+    }
+
+    /// Processes one query restricted to the first `limit` keys (causal
+    /// masking when `limit = position + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit == 0` or `limit > num_keys()`.
+    #[must_use]
+    pub fn query_bounded(&mut self, q: &[f32], limit: usize) -> Vec<f32> {
+        assert!(limit > 0 && limit <= self.keys.rows(), "limit out of range");
+        let qh = self.operator.params().hasher().hash(q);
+        let (candidates, fallback) = self.select_bounded(&qh, limit);
+        self.stats.total_pairs += limit;
+        self.stats.selected_pairs += candidates.len();
+        self.stats.num_queries += 1;
+        self.stats.fallback_queries += usize::from(fallback);
+        // Exact attention over the candidate rows.
+        let scale = self.operator.params().scale();
+        let scores: Vec<f32> = candidates
+            .iter()
+            .map(|&j| (ops::dot(q, self.keys.row(j)) * f64::from(scale)) as f32)
+            .collect();
+        let weights = ops::softmax(&scores);
+        let mut out = vec![0.0f32; self.values.cols()];
+        for (&j, &w) in candidates.iter().zip(&weights) {
+            ops::axpy(w, self.values.row(j), &mut out);
+        }
+        out
+    }
+
+    /// Candidate selection over the first `limit` keys, with the arg-max
+    /// fallback guaranteeing a nonempty result.
+    fn select_bounded(&self, query_hash: &BinaryHash, limit: usize) -> (Vec<usize>, bool) {
+        let cutoff = self.operator.threshold() * self.pre.max_norm();
+        let lut = self.operator.params().lut();
+        let mut selected = Vec::new();
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..limit {
+            let sim = lut.similarity(query_hash, &self.pre.hashes()[j], self.pre.norms()[j]);
+            if sim > cutoff {
+                selected.push(j);
+            }
+            match best {
+                Some((_, b)) if sim <= b => {}
+                _ => best = Some((j, sim)),
+            }
+        }
+        if selected.is_empty() {
+            (vec![best.expect("limit > 0").0], true)
+        } else {
+            (selected, false)
+        }
+    }
+}
+
+/// Convenience for whole-invocation causal attention through the operator:
+/// query `i` selects among keys `0..=i` only.
+#[must_use]
+pub fn forward_causal(
+    operator: &ElsaAttention,
+    inputs: &AttentionInputs,
+) -> (Matrix, SelectionStats) {
+    let mut session = ElsaSession::new(operator, inputs.key(), inputs.value());
+    let mut out = Matrix::zeros(inputs.num_queries(), inputs.value().cols());
+    for i in 0..inputs.num_queries() {
+        let limit = (i + 1).min(inputs.num_keys());
+        let row = session.query_bounded(inputs.query().row(i), limit);
+        out.row_mut(i).copy_from_slice(&row);
+    }
+    (out, session.stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attention::ElsaParams;
+    use elsa_attention::exact;
+    use elsa_linalg::SeededRng;
+
+    fn setup(seed: u64) -> (ElsaAttention, Matrix, Matrix, Matrix) {
+        let mut rng = SeededRng::new(seed);
+        let n = 48;
+        let d = 64;
+        let keys = Matrix::from_fn(n, d, |_, _| rng.standard_normal() as f32);
+        let values = Matrix::from_fn(n, d, |_, _| rng.standard_normal() as f32);
+        let queries = Matrix::from_fn(n, d, |_, _| rng.standard_normal() as f32);
+        let operator = ElsaAttention::exact_fallback(ElsaParams::for_dims(64, 64, &mut rng));
+        (operator, queries, keys, values)
+    }
+
+    #[test]
+    fn streaming_matches_batch_forward() {
+        let (operator, q, k, v) = setup(1);
+        let inputs = AttentionInputs::new(q.clone(), k.clone(), v.clone());
+        let (batch_out, batch_stats) = operator.forward(&inputs);
+        let mut session = ElsaSession::new(&operator, &k, &v);
+        for i in 0..q.rows() {
+            let row = session.query(q.row(i));
+            for (a, b) in row.iter().zip(batch_out.row(i)) {
+                assert!((a - b).abs() < 1e-5);
+            }
+        }
+        assert_eq!(session.stats().selected_pairs, batch_stats.selected_pairs);
+    }
+
+    #[test]
+    fn causal_forward_matches_exact_causal_with_full_selection() {
+        let (operator, q, k, v) = setup(2);
+        let inputs = AttentionInputs::new(q, k, v);
+        let (out, stats) = forward_causal(&operator, &inputs);
+        let exact_out = exact::causal_attention(&inputs, 1.0);
+        assert!(out.max_abs_diff(&exact_out) < 1e-5);
+        // Lower-triangular pair count: n(n+1)/2.
+        let n = inputs.num_keys();
+        assert_eq!(stats.total_pairs, n * (n + 1) / 2);
+    }
+
+    #[test]
+    fn bounded_query_never_sees_future_keys() {
+        let (operator, q, mut k, v) = setup(3);
+        // Poison the "future" keys: identical to the query direction so
+        // they'd certainly be selected if visible.
+        for j in 24..48 {
+            for c in 0..64 {
+                k[(j, c)] = q[(0, c)] * 3.0;
+            }
+        }
+        let mut session = ElsaSession::new(&operator, &k, &v);
+        let _ = session.query_bounded(q.row(0), 24);
+        assert_eq!(session.stats().total_pairs, 24);
+        assert!(session.stats().selected_pairs <= 24);
+    }
+
+    #[test]
+    fn stats_accumulate_across_queries() {
+        let (operator, q, k, v) = setup(4);
+        let mut session = ElsaSession::new(&operator, &k, &v);
+        let _ = session.query(q.row(0));
+        let _ = session.query(q.row(1));
+        assert_eq!(session.stats().num_queries, 2);
+        assert_eq!(session.stats().total_pairs, 2 * k.rows());
+    }
+
+    #[test]
+    #[should_panic(expected = "limit out of range")]
+    fn rejects_zero_limit() {
+        let (operator, q, k, v) = setup(5);
+        let mut session = ElsaSession::new(&operator, &k, &v);
+        let _ = session.query_bounded(q.row(0), 0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Learning layer-specific candidate-selection thresholds (§III-E).
+//!
+//! Sorting candidates per query would cost `n log n` and serialize badly in
+//! hardware, so ELSA filters with a *threshold*. Different (sub-)layers have
+//! very different score distributions (BERT-large has 384 attention
+//! sub-layers), so per-layer thresholds are **learned** from a single global
+//! hyperparameter `p` — the degree of approximation:
+//!
+//! 1. run exact attention on training data;
+//! 2. per query, find keys whose softmax score exceeds `p·(1/n)`;
+//! 3. among them take the key with the *minimum* softmax score (the weakest
+//!    key the user still considers relevant) — or the maximum-score key when
+//!    nothing clears `p/n` (footnote 1 of the paper);
+//! 4. normalize that key's **raw** score by `‖q‖·‖K_max‖` → one observation
+//!    of the threshold `t`;
+//! 5. average observations across queries and batches.
+//!
+//! At inference a key is selected iff its approximate similarity exceeds
+//! `t·‖K_max‖` — both sides live in the query-normalized space, so `‖q‖`
+//! never needs to be computed at selection time.
+
+use elsa_attention::exact::{self, AttentionInputs};
+use elsa_linalg::ops;
+
+/// Accumulates threshold observations for one attention (sub-)layer.
+///
+/// # Examples
+///
+/// ```
+/// use elsa_core::ThresholdLearner;
+/// use elsa_attention::AttentionInputs;
+/// use elsa_linalg::{Matrix, SeededRng};
+///
+/// let mut rng = SeededRng::new(5);
+/// let mut mk = || Matrix::from_fn(32, 16, |_, _| rng.standard_normal() as f32);
+/// let inputs = AttentionInputs::new(mk(), mk(), mk());
+///
+/// let mut learner = ThresholdLearner::new(1.0);
+/// learner.observe(&inputs);
+/// assert!(learner.learned_threshold().is_finite());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThresholdLearner {
+    p: f64,
+    scale: f32,
+    sum_t: f64,
+    observations: usize,
+}
+
+impl ThresholdLearner {
+    /// Creates a learner for approximation degree `p` with unscaled scores
+    /// (the paper's formulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p < 0` or `p` is not finite.
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        Self::with_scale(p, 1.0)
+    }
+
+    /// Creates a learner whose softmax inspection uses scores scaled by
+    /// `scale` (for models that use scaled attention). The learned `t`
+    /// remains in the *unscaled* `‖q‖·‖K_max‖`-normalized space so it is
+    /// directly comparable with the hash-based similarity estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p < 0`, `p` is not finite, or `scale <= 0`.
+    #[must_use]
+    pub fn with_scale(p: f64, scale: f32) -> Self {
+        assert!(p.is_finite() && p >= 0.0, "p must be a finite non-negative number");
+        assert!(scale > 0.0, "scale must be positive");
+        Self { p, scale, sum_t: 0.0, observations: 0 }
+    }
+
+    /// The degree-of-approximation hyperparameter.
+    #[must_use]
+    pub const fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of per-query observations accumulated so far.
+    #[must_use]
+    pub const fn observations(&self) -> usize {
+        self.observations
+    }
+
+    /// Inspects one exact-attention invocation (§III-E, Fig. 6) and
+    /// accumulates one threshold observation per query.
+    pub fn observe(&mut self, inputs: &AttentionInputs) {
+        let n = inputs.num_keys();
+        let cutoff = (self.p / n as f64) as f32;
+        let normalized = exact::normalized_scores(inputs, self.scale);
+        let key_norms: Vec<f64> = (0..n).map(|j| ops::norm(inputs.key().row(j))).collect();
+        let max_key_norm = key_norms.iter().copied().fold(0.0f64, f64::max);
+        if max_key_norm == 0.0 {
+            return; // degenerate all-zero keys: nothing to learn from
+        }
+        for i in 0..inputs.num_queries() {
+            let q = inputs.query().row(i);
+            let q_norm = ops::norm(q);
+            if q_norm == 0.0 {
+                continue;
+            }
+            let row = normalized.row(i);
+            // ① keys whose softmax score exceeds p/n; ② weakest of them —
+            // or the strongest key overall when none clears the cutoff.
+            let mut chosen: Option<(usize, f32)> = None;
+            for (j, &s) in row.iter().enumerate() {
+                if s > cutoff {
+                    match chosen {
+                        Some((_, best)) if s >= best => {}
+                        _ => chosen = Some((j, s)),
+                    }
+                }
+            }
+            let j = match chosen {
+                Some((j, _)) => j,
+                None => ops::argmax(row).expect("nonempty score row"),
+            };
+            // ③ normalize the *raw* attention score by ‖q‖·‖K_max‖.
+            let raw = ops::dot(q, inputs.key().row(j));
+            self.sum_t += raw / (q_norm * max_key_norm);
+            self.observations += 1;
+        }
+    }
+
+    /// The averaged threshold `t`. Returns `f64::NEG_INFINITY` when nothing
+    /// has been observed (select-everything: the safe fallback).
+    #[must_use]
+    pub fn learned_threshold(&self) -> f64 {
+        if self.observations == 0 {
+            f64::NEG_INFINITY
+        } else {
+            self.sum_t / self.observations as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elsa_linalg::{Matrix, SeededRng};
+
+    fn random_inputs(n: usize, d: usize, seed: u64) -> AttentionInputs {
+        let mut rng = SeededRng::new(seed);
+        let q = Matrix::from_fn(n, d, |_, _| rng.standard_normal() as f32);
+        let k = Matrix::from_fn(n, d, |_, _| rng.standard_normal() as f32);
+        let v = Matrix::from_fn(n, d, |_, _| rng.standard_normal() as f32);
+        AttentionInputs::new(q, k, v)
+    }
+
+    #[test]
+    fn threshold_is_finite_after_observation() {
+        let mut learner = ThresholdLearner::new(1.0);
+        learner.observe(&random_inputs(32, 16, 1));
+        assert!(learner.learned_threshold().is_finite());
+        assert_eq!(learner.observations(), 32);
+    }
+
+    #[test]
+    fn no_observations_select_everything() {
+        let learner = ThresholdLearner::new(1.0);
+        assert_eq!(learner.learned_threshold(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn larger_p_gives_larger_threshold() {
+        // Larger p = more aggressive approximation = higher bar for
+        // relevance = larger learned t.
+        let inputs = random_inputs(64, 32, 2);
+        let mut conservative = ThresholdLearner::new(0.5);
+        let mut aggressive = ThresholdLearner::new(4.0);
+        conservative.observe(&inputs);
+        aggressive.observe(&inputs);
+        assert!(
+            aggressive.learned_threshold() > conservative.learned_threshold(),
+            "t(p=4) {} <= t(p=0.5) {}",
+            aggressive.learned_threshold(),
+            conservative.learned_threshold()
+        );
+    }
+
+    #[test]
+    fn observations_accumulate_across_batches() {
+        let mut learner = ThresholdLearner::new(1.0);
+        learner.observe(&random_inputs(16, 8, 3));
+        learner.observe(&random_inputs(16, 8, 4));
+        assert_eq!(learner.observations(), 32);
+    }
+
+    #[test]
+    fn averaging_is_stable_across_similar_batches() {
+        let mut a = ThresholdLearner::new(1.0);
+        let mut b = ThresholdLearner::new(1.0);
+        for seed in 0..5 {
+            a.observe(&random_inputs(64, 32, 100 + seed));
+        }
+        for seed in 0..5 {
+            b.observe(&random_inputs(64, 32, 200 + seed));
+        }
+        let (ta, tb) = (a.learned_threshold(), b.learned_threshold());
+        assert!(
+            (ta - tb).abs() < 0.25,
+            "thresholds from iid batches differ too much: {ta} vs {tb}"
+        );
+    }
+
+    #[test]
+    fn p_zero_tracks_weakest_positive_score() {
+        // With p = 0 every key with nonzero softmax weight is "relevant", so
+        // the learner tracks the weakest key — t becomes very low and at
+        // inference essentially everything is selected (the paper's "set p
+        // to 0 to fall back to exact" behaviour).
+        let inputs = random_inputs(32, 16, 5);
+        let mut all = ThresholdLearner::new(0.0);
+        let mut some = ThresholdLearner::new(2.0);
+        all.observe(&inputs);
+        some.observe(&inputs);
+        assert!(all.learned_threshold() < some.learned_threshold());
+    }
+
+    #[test]
+    fn zero_query_rows_are_skipped() {
+        let k = Matrix::from_fn(8, 4, |r, c| ((r + c) % 3) as f32);
+        let q = Matrix::zeros(8, 4);
+        let v = Matrix::zeros(8, 4);
+        let mut learner = ThresholdLearner::new(1.0);
+        learner.observe(&AttentionInputs::new(q, k, v));
+        assert_eq!(learner.observations(), 0);
+    }
+
+    #[test]
+    fn degenerate_zero_keys_are_skipped() {
+        let inputs = AttentionInputs::new(
+            Matrix::from_fn(4, 4, |_, _| 1.0),
+            Matrix::zeros(4, 4),
+            Matrix::zeros(4, 4),
+        );
+        let mut learner = ThresholdLearner::new(1.0);
+        learner.observe(&inputs);
+        assert_eq!(learner.observations(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn rejects_negative_p() {
+        let _ = ThresholdLearner::new(-1.0);
+    }
+}

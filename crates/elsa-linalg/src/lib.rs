@@ -1,0 +1,43 @@
+//! Dense linear-algebra substrate for the ELSA reproduction.
+//!
+//! Everything the approximate-attention algorithm and its baselines need is
+//! implemented here from scratch:
+//!
+//! * [`Matrix`] — a row-major `f32` matrix with the handful of operations the
+//!   attention pipeline uses (matmul, transposed matmul, row access, maps);
+//! * [`ops`] — vector/softmax kernels with `f64` accumulation;
+//! * [`rng`] — seeded random sources, including a Box–Muller standard-normal
+//!   sampler (the `rand` crate alone does not ship a normal distribution);
+//! * [`orthogonal`] — the modified Gram–Schmidt process (§III-B) used to draw
+//!   the orthogonal projection vectors of the SRP variant ELSA employs,
+//!   including the batched construction for `k > d` (Ji et al., super-bit LSH);
+//! * [`kronecker`] — structured orthogonal transforms built as Kronecker
+//!   products of small orthogonal factors, with the efficient `O(d^{1+1/m})`
+//!   application algorithms of §III-C and an exact multiplication counter the
+//!   hardware model relies on.
+//!
+//! # Examples
+//!
+//! ```
+//! use elsa_linalg::{Matrix, ops};
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::identity(2);
+//! assert_eq!(a.matmul(&b), a);
+//!
+//! let sm = ops::softmax(&[1.0, 2.0, 3.0]);
+//! assert!((sm.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod kronecker;
+pub mod matrix;
+pub mod ops;
+pub mod orthogonal;
+pub mod rng;
+
+pub use kronecker::KroneckerFactors;
+pub use matrix::Matrix;
+pub use rng::SeededRng;

@@ -1,0 +1,208 @@
+//! Orthogonal projection sets for sign random projection (§III-B).
+//!
+//! ELSA uses a variant of SRP whose `k` projection vectors are *orthogonal*
+//! rather than independent Gaussian draws: orthogonality prevents two
+//! projections from pointing in similar directions (which would over-weight
+//! that direction in the Hamming estimate) and provably reduces the angular
+//! estimation error (Ji et al., *Super-Bit Locality-Sensitive Hashing*,
+//! NeurIPS 2012).
+//!
+//! The construction is the **modified Gram–Schmidt process** applied to a
+//! `k × d` standard-normal matrix. When `k > d` (more hash bits than
+//! dimensions) no single orthogonal set exists, so batches of `d` orthogonal
+//! vectors are concatenated, each batch drawn independently — exactly the
+//! batched scheme the paper cites for that case.
+
+use crate::matrix::Matrix;
+use crate::ops;
+use crate::rng::SeededRng;
+
+/// Orthonormalizes the rows of `m` in place using modified Gram–Schmidt,
+/// returning the number of rows that survived (rows that become numerically
+/// zero — linearly dependent inputs — are removed).
+///
+/// Modified (as opposed to classical) Gram–Schmidt subtracts each projection
+/// immediately, which is numerically stable enough for the `64 × 64` sizes
+/// used here without re-orthogonalization passes.
+#[must_use]
+pub fn modified_gram_schmidt(m: &Matrix) -> Matrix {
+    let mut rows: Vec<Vec<f32>> = m.iter_rows().map(<[f32]>::to_vec).collect();
+    let mut kept: Vec<Vec<f32>> = Vec::with_capacity(rows.len());
+    for row in rows.iter_mut() {
+        // Subtract components along all previously accepted directions.
+        for q in &kept {
+            let proj = ops::dot(row, q);
+            for (r, &qi) in row.iter_mut().zip(q.iter()) {
+                *r -= (proj * f64::from(qi)) as f32;
+            }
+        }
+        let n = ops::norm(row);
+        if n > 1e-6 {
+            let unit: Vec<f32> = row.iter().map(|&x| (f64::from(x) / n) as f32).collect();
+            kept.push(unit);
+        }
+    }
+    let cols = m.cols();
+    let flat: Vec<f32> = kept.iter().flatten().copied().collect();
+    Matrix::from_vec(kept.len(), cols, flat)
+}
+
+/// Draws a `k × d` matrix whose rows are orthonormal projection directions
+/// for SRP hashing.
+///
+/// * `k ≤ d`: a single Gram–Schmidt-orthogonalized Gaussian batch.
+/// * `k > d`: `ceil(k/d)` independent orthogonal batches concatenated and
+///   truncated to `k` rows (batched super-bit construction).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `d == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use elsa_linalg::{orthogonal, SeededRng};
+/// let mut rng = SeededRng::new(1);
+/// let p = orthogonal::random_orthogonal_projections(8, 16, &mut rng);
+/// assert_eq!((p.rows(), p.cols()), (8, 16));
+/// ```
+#[must_use]
+pub fn random_orthogonal_projections(k: usize, d: usize, rng: &mut SeededRng) -> Matrix {
+    assert!(k > 0 && d > 0, "projection dimensions must be positive");
+    let mut out: Option<Matrix> = None;
+    let mut remaining = k;
+    while remaining > 0 {
+        let batch_rows = remaining.min(d);
+        // Draw a full d×d batch so the orthogonalization has room, then trim.
+        let gauss = Matrix::from_fn(d.min(remaining.max(batch_rows)), d, |_, _| {
+            rng.standard_normal() as f32
+        });
+        let ortho = modified_gram_schmidt(&gauss);
+        // In the (probability ~0) event of degenerate draws, retry.
+        if ortho.rows() < batch_rows {
+            continue;
+        }
+        let batch = ortho.row_slice(0..batch_rows);
+        out = Some(match out {
+            None => batch,
+            Some(acc) => acc.vstack(&batch),
+        });
+        remaining -= batch_rows;
+    }
+    out.expect("k > 0 guarantees at least one batch")
+}
+
+/// Draws a `n × n` Haar-like random orthogonal matrix (Gaussian +
+/// Gram–Schmidt). Used to build small orthogonal Kronecker factors.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn random_orthogonal_square(n: usize, rng: &mut SeededRng) -> Matrix {
+    assert!(n > 0, "matrix size must be positive");
+    loop {
+        let gauss = Matrix::from_fn(n, n, |_, _| rng.standard_normal() as f32);
+        let ortho = modified_gram_schmidt(&gauss);
+        if ortho.rows() == n {
+            return ortho;
+        }
+    }
+}
+
+/// Measures how far `m · mᵀ` deviates from identity — the orthogonality
+/// residual (max absolute entry of `m·mᵀ − I`). Useful for tests and for
+/// validating quantized hash matrices.
+#[must_use]
+pub fn orthogonality_residual(m: &Matrix) -> f32 {
+    let gram = m.matmul_transpose_b(m);
+    let mut worst = 0.0f32;
+    for i in 0..gram.rows() {
+        for j in 0..gram.cols() {
+            let target = if i == j { 1.0 } else { 0.0 };
+            worst = worst.max((gram[(i, j)] - target).abs());
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gram_schmidt_produces_orthonormal_rows() {
+        let mut rng = SeededRng::new(11);
+        let m = Matrix::from_fn(16, 32, |_, _| rng.standard_normal() as f32);
+        let q = modified_gram_schmidt(&m);
+        assert_eq!(q.rows(), 16);
+        assert!(orthogonality_residual(&q) < 1e-4);
+    }
+
+    #[test]
+    fn gram_schmidt_drops_dependent_rows() {
+        let m = Matrix::from_rows(&[&[1.0, 0.0], &[2.0, 0.0], &[0.0, 1.0]]);
+        let q = modified_gram_schmidt(&m);
+        assert_eq!(q.rows(), 2); // second row was a multiple of the first
+        assert!(orthogonality_residual(&q) < 1e-5);
+    }
+
+    #[test]
+    fn gram_schmidt_preserves_span_direction_of_first_row() {
+        let m = Matrix::from_rows(&[&[3.0, 4.0]]);
+        let q = modified_gram_schmidt(&m);
+        assert!((q[(0, 0)] - 0.6).abs() < 1e-6);
+        assert!((q[(0, 1)] - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn projections_k_le_d_are_orthonormal() {
+        let mut rng = SeededRng::new(21);
+        let p = random_orthogonal_projections(64, 64, &mut rng);
+        assert_eq!((p.rows(), p.cols()), (64, 64));
+        assert!(orthogonality_residual(&p) < 1e-4);
+    }
+
+    #[test]
+    fn projections_k_gt_d_batched() {
+        let mut rng = SeededRng::new(22);
+        let p = random_orthogonal_projections(100, 32, &mut rng);
+        assert_eq!((p.rows(), p.cols()), (100, 32));
+        // First batch of 32 rows is orthonormal within itself.
+        let batch = p.row_slice(0..32);
+        assert!(orthogonality_residual(&batch) < 1e-4);
+        // Second batch likewise.
+        let batch2 = p.row_slice(32..64);
+        assert!(orthogonality_residual(&batch2) < 1e-4);
+        // Every row is unit length.
+        for r in 0..p.rows() {
+            assert!((ops::norm(p.row(r)) - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn square_orthogonal_is_full_rank() {
+        let mut rng = SeededRng::new(23);
+        for n in [2, 4, 8] {
+            let q = random_orthogonal_square(n, &mut rng);
+            assert_eq!(q.rows(), n);
+            assert!(orthogonality_residual(&q) < 1e-5);
+        }
+    }
+
+    #[test]
+    fn orthogonal_transform_preserves_norms() {
+        let mut rng = SeededRng::new(24);
+        let q = random_orthogonal_square(8, &mut rng);
+        let x = Matrix::from_fn(1, 8, |_, c| c as f32 - 3.5);
+        let y = x.matmul(&q.transpose());
+        assert!((ops::norm(y.row(0)) - ops::norm(x.row(0))).abs() < 1e-4);
+    }
+
+    #[test]
+    fn determinism_given_seed() {
+        let a = random_orthogonal_projections(16, 16, &mut SeededRng::new(77));
+        let b = random_orthogonal_projections(16, 16, &mut SeededRng::new(77));
+        assert_eq!(a, b);
+    }
+}

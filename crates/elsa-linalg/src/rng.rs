@@ -1,0 +1,249 @@
+//! Seeded randomness helpers.
+//!
+//! Every experiment in this repository is deterministic: all stochastic
+//! components (projection vectors, synthetic workloads, calibration datasets)
+//! draw from a [`SeededRng`] constructed from an explicit `u64` seed.
+//!
+//! The `rand` crate (the only RNG dependency allowed offline) does not ship a
+//! normal distribution, so [`SeededRng::standard_normal`] implements the
+//! Box–Muller transform directly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random source with the sampling primitives the ELSA
+/// reproduction needs.
+///
+/// # Examples
+///
+/// ```
+/// use elsa_linalg::SeededRng;
+///
+/// let mut a = SeededRng::new(42);
+/// let mut b = SeededRng::new(42);
+/// assert_eq!(a.standard_normal(), b.standard_normal());
+/// ```
+#[derive(Debug)]
+pub struct SeededRng {
+    inner: StdRng,
+    /// Spare normal deviate from the last Box–Muller pair.
+    cached_normal: Option<f64>,
+}
+
+impl SeededRng {
+    /// Creates a generator from an explicit seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { inner: StdRng::seed_from_u64(seed), cached_normal: None }
+    }
+
+    /// Derives an independent child generator; used to give each layer /
+    /// workload its own stream so adding one experiment never perturbs
+    /// another's draws.
+    #[must_use]
+    pub fn fork(&mut self, label: u64) -> Self {
+        let base = self.inner.next_u64();
+        Self::new(base ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    #[must_use]
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[must_use]
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty uniform range [{lo}, {hi})");
+        lo + self.uniform() * (hi - lo)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index range must be nonempty");
+        self.inner.gen_range(0..n)
+    }
+
+    /// A standard normal `N(0, 1)` deviate via the Box–Muller transform.
+    #[must_use]
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.cached_normal.take() {
+            return z;
+        }
+        // Box–Muller on (0,1] × [0,1) uniforms.
+        let u1: f64 = 1.0 - self.uniform(); // in (0, 1], avoids ln(0)
+        let u2: f64 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.cached_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// A normal deviate with the given mean and standard deviation.
+    #[must_use]
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Fills a vector with `len` standard normal deviates.
+    #[must_use]
+    pub fn normal_vec(&mut self, len: usize) -> Vec<f32> {
+        (0..len).map(|_| self.standard_normal() as f32).collect()
+    }
+
+    /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
+    #[must_use]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.uniform() < p.clamp(0.0, 1.0)
+    }
+
+    /// A random unit vector of dimension `d` (normal direction, normalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    #[must_use]
+    pub fn unit_vector(&mut self, d: usize) -> Vec<f32> {
+        assert!(d > 0, "unit vector dimension must be positive");
+        loop {
+            let v = self.normal_vec(d);
+            let n = crate::ops::norm(&v);
+            if n > 1e-9 {
+                return v.iter().map(|&x| (f64::from(x) / n) as f32).collect();
+            }
+        }
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples `count` distinct indices from `0..n` (order unspecified).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > n`.
+    #[must_use]
+    pub fn sample_indices(&mut self, n: usize, count: usize) -> Vec<usize> {
+        assert!(count <= n, "cannot sample {count} distinct items from {n}");
+        // Partial Fisher–Yates over an index buffer.
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..count {
+            let j = i + self.index(n - i);
+            idx.swap(i, j);
+        }
+        idx.truncate(count);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = SeededRng::new(7);
+        let mut b = SeededRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(), b.uniform());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SeededRng::new(1);
+        let mut b = SeededRng::new(2);
+        let same = (0..32).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn fork_streams_are_independent_of_sibling_draws() {
+        let mut root1 = SeededRng::new(3);
+        let mut root2 = SeededRng::new(3);
+        let mut c1 = root1.fork(10);
+        let mut c2 = root2.fork(10);
+        assert_eq!(c1.uniform(), c2.uniform());
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = SeededRng::new(12345);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn normal_parameters_respected() {
+        let mut rng = SeededRng::new(99);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn unit_vector_is_unit() {
+        let mut rng = SeededRng::new(5);
+        for d in [1, 2, 8, 64] {
+            let v = rng.unit_vector(d);
+            assert!((crate::ops::norm(&v) - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = SeededRng::new(8);
+        let idx = rng.sample_indices(100, 40);
+        assert_eq!(idx.len(), 40);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 40);
+        assert!(sorted.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SeededRng::new(4);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = SeededRng::new(6);
+        assert!(!rng.bernoulli(0.0));
+        assert!(rng.bernoulli(1.0));
+        assert!(rng.bernoulli(2.0)); // clamped
+    }
+
+    #[test]
+    #[should_panic(expected = "empty uniform range")]
+    fn uniform_in_rejects_empty_range() {
+        let mut rng = SeededRng::new(1);
+        let _ = rng.uniform_in(2.0, 2.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Bitwidth-tracked adder tree — the reduction structure inside the
+//! attention computation module (§IV-C: "d multipliers and an adder tree")
+//! under §IV-E's rule that intermediate signals carry *the minimal necessary
+//! integer bitwidth to avoid overflow while maintaining the number of
+//! fraction bits*.
+//!
+//! Each tree level adds one integer bit (the sum of two B-bit values needs
+//! B+1 bits), so a `d`-leaf tree over products of `Qa.f × Qb.f` inputs needs
+//! `a + b + 1 + log2(d)` integer bits at the root. [`AdderTree`] computes
+//! the reduction value *and* reports the per-level formats, so tests can pin
+//! the hardware sizing the paper implies, and the cost model can count
+//! adder bits.
+
+use crate::fixed::{Fixed, FixedSpec};
+
+/// A balanced binary reduction over fixed-point values with per-level
+/// format tracking.
+///
+/// # Examples
+///
+/// ```
+/// use elsa_numeric::{AdderTree, Fixed, FixedSpec};
+///
+/// let spec = FixedSpec::qkv();
+/// let leaves: Vec<Fixed> = (0..8).map(|i| Fixed::from_f64(i as f64, spec)).collect();
+/// let tree = AdderTree::reduce(&leaves);
+/// assert_eq!(tree.sum().to_f64(), 28.0);
+/// assert_eq!(tree.levels(), 3); // 8 leaves -> 3 levels
+/// // Root integer width grew by exactly one bit per level.
+/// assert_eq!(tree.root_spec().int_bits(), spec.int_bits() + 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdderTree {
+    sum: Fixed,
+    leaf_spec: FixedSpec,
+    levels: u32,
+}
+
+impl AdderTree {
+    /// Reduces the leaves pairwise, widening one integer bit per level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves` is empty or the leaves carry different formats.
+    #[must_use]
+    pub fn reduce(leaves: &[Fixed]) -> Self {
+        assert!(!leaves.is_empty(), "adder tree needs at least one leaf");
+        let leaf_spec = leaves[0].spec();
+        assert!(
+            leaves.iter().all(|l| l.spec() == leaf_spec),
+            "adder tree leaves must share one format"
+        );
+        let mut level: Vec<Fixed> = leaves.to_vec();
+        let mut levels = 0u32;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                next.push(if pair.len() == 2 {
+                    pair[0].wide_add(&pair[1])
+                } else {
+                    // Odd leaf passes through, widened to keep the level's
+                    // format uniform (hardware pads with a zero input).
+                    pair[0].wide_add(&Fixed::zero(pair[0].spec()))
+                });
+            }
+            level = next;
+            levels += 1;
+        }
+        Self { sum: level[0], leaf_spec, levels }
+    }
+
+    /// The reduction result.
+    #[must_use]
+    pub const fn sum(&self) -> Fixed {
+        self.sum
+    }
+
+    /// Number of tree levels (`ceil(log2(leaf count))`).
+    #[must_use]
+    pub const fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Format of the leaves.
+    #[must_use]
+    pub const fn leaf_spec(&self) -> FixedSpec {
+        self.leaf_spec
+    }
+
+    /// Format of the root — the §IV-E minimal-width rule made explicit.
+    #[must_use]
+    pub fn root_spec(&self) -> FixedSpec {
+        self.sum.spec()
+    }
+
+    /// Total full-adder bit count of the tree (a proxy for its area):
+    /// level `ℓ` (1-based) has `ceil(d / 2^ℓ)` adders of `leaf_int + ℓ +
+    /// frac` bits.
+    #[must_use]
+    pub fn adder_bits(leaf_count: usize, leaf_spec: FixedSpec) -> u64 {
+        let mut total = 0u64;
+        let mut width = leaf_count;
+        let mut level = 1u32;
+        while width > 1 {
+            let adders = (width / 2) as u64;
+            let bits = u64::from(1 + leaf_spec.int_bits() + level + leaf_spec.frac_bits());
+            total += adders * bits;
+            width = width.div_ceil(2);
+            level += 1;
+        }
+        total
+    }
+}
+
+/// The full dot-product datapath of the attention computation module:
+/// `d` parallel `Qkv × Qkv` multipliers feeding the adder tree, returning
+/// the exact score and the root format (17 + log2(d) integer bits for
+/// Q5.3 inputs).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+#[must_use]
+pub fn dot_product_datapath(a: &[Fixed], b: &[Fixed]) -> AdderTree {
+    assert_eq!(a.len(), b.len(), "dot product operand mismatch");
+    let products: Vec<Fixed> = a.iter().zip(b).map(|(x, y)| x.wide_mul(y)).collect();
+    AdderTree::reduce(&products)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::QkvFixed;
+
+    #[test]
+    fn reduction_value_is_exact() {
+        let spec = FixedSpec::qkv();
+        let leaves: Vec<Fixed> =
+            (0..64).map(|i| Fixed::from_f64(f64::from(i % 7) - 3.0, spec)).collect();
+        let expect: f64 = (0..64).map(|i| f64::from(i % 7) - 3.0).sum();
+        assert_eq!(AdderTree::reduce(&leaves).sum().to_f64(), expect);
+    }
+
+    #[test]
+    fn one_bit_of_growth_per_level() {
+        let spec = FixedSpec::qkv();
+        for d in [2usize, 4, 16, 64] {
+            let leaves = vec![Fixed::from_f64(1.0, spec); d];
+            let tree = AdderTree::reduce(&leaves);
+            assert_eq!(tree.levels(), d.ilog2());
+            assert_eq!(tree.root_spec().int_bits(), spec.int_bits() + d.ilog2());
+            assert_eq!(tree.root_spec().frac_bits(), spec.frac_bits());
+        }
+    }
+
+    #[test]
+    fn worst_case_never_overflows() {
+        // All-maximal products through the full d = 64 dot-product path.
+        let max = QkvFixed::from_f32(31.875).as_fixed();
+        let min = QkvFixed::from_f32(-32.0).as_fixed();
+        let a = vec![max; 64];
+        let b = vec![min; 64];
+        let tree = dot_product_datapath(&a, &b);
+        assert_eq!(tree.sum().to_f64(), 64.0 * 31.875 * -32.0);
+        // Root: 5+5+1 int bits from the multiply, +6 from the tree.
+        assert_eq!(tree.root_spec().int_bits(), 11 + 6);
+        assert_eq!(tree.root_spec().frac_bits(), 6);
+    }
+
+    #[test]
+    fn odd_leaf_counts_handled() {
+        let spec = FixedSpec::qkv();
+        let leaves: Vec<Fixed> = (0..7).map(|i| Fixed::from_f64(f64::from(i), spec)).collect();
+        let tree = AdderTree::reduce(&leaves);
+        assert_eq!(tree.sum().to_f64(), 21.0);
+        assert_eq!(tree.levels(), 3);
+    }
+
+    #[test]
+    fn single_leaf_is_identity() {
+        let spec = FixedSpec::qkv();
+        let tree = AdderTree::reduce(&[Fixed::from_f64(2.5, spec)]);
+        assert_eq!(tree.sum().to_f64(), 2.5);
+        assert_eq!(tree.levels(), 0);
+        assert_eq!(tree.root_spec(), spec);
+    }
+
+    #[test]
+    fn adder_bit_budget_is_plausible() {
+        // d = 64 tree over 12-bit products (Q11.6 after the multiply):
+        // level widths 18..23 bits over 32+16+8+4+2+1 adders.
+        let product_spec = FixedSpec::new(11, 6);
+        let bits = AdderTree::adder_bits(64, product_spec);
+        let manual: u64 = [(32u64, 19u64), (16, 20), (8, 21), (4, 22), (2, 23), (1, 24)]
+            .iter()
+            .map(|&(adders, width)| adders * width)
+            .sum();
+        assert_eq!(bits, manual);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one format")]
+    fn rejects_mixed_formats() {
+        let a = Fixed::from_f64(1.0, FixedSpec::qkv());
+        let b = Fixed::from_f64(1.0, FixedSpec::hash_matrix());
+        let _ = AdderTree::reduce(&[a, b]);
+    }
+}

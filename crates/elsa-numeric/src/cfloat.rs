@@ -1,0 +1,489 @@
+//! The custom floating-point format of §IV-E.
+//!
+//! The outputs of the exponent function — and everything computed from them
+//! (the running sum of exponentiated scores, the weighted value accumulation,
+//! the reciprocal and the final division) — cover a huge dynamic range, so the
+//! ELSA datapath switches from fixed point to a small custom float: **1 sign
+//! bit, 10 exponent bits, 5 fraction bits**.
+//!
+//! We model the format as a normalized binary float with a hidden leading one
+//! and no subnormals (values below the smallest normal flush to zero, values
+//! above the largest normal saturate — the natural behaviour for a datapath
+//! that only ever sees outputs of `e^x` with `x` bounded by the score range).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Neg};
+
+/// Exponent field width in bits.
+const EXP_BITS: u32 = 10;
+/// Mantissa (fraction) field width in bits.
+const FRAC_BITS: u32 = 5;
+/// Exponent bias: 2^(EXP_BITS-1) - 1.
+const BIAS: i32 = (1 << (EXP_BITS - 1)) - 1;
+/// Largest biased exponent (all-ones is a valid normal here; the hardware has
+/// no infinities or NaNs).
+const EXP_MAX: i32 = (1 << EXP_BITS) - 1;
+
+/// A value in ELSA's 16-bit custom floating-point format
+/// (1 sign + 10 exponent + 5 fraction bits).
+///
+/// Arithmetic (`+`, `*`) is performed the way a small hardware FPU would:
+/// operands are decoded, significands aligned/multiplied exactly, and the
+/// result is renormalized and rounded to nearest back into the format.
+///
+/// # Examples
+///
+/// ```
+/// use elsa_numeric::CustomFloat;
+///
+/// let a = CustomFloat::from_f32(1.0);
+/// let b = CustomFloat::from_f32(2.5);
+/// assert_eq!((a + b).to_f32(), 3.5);
+/// assert_eq!((a * b).to_f32(), 2.5);
+///
+/// // 5 fraction bits => relative error bounded by 2^-6.
+/// let x = CustomFloat::from_f32(1234.567);
+/// assert!(((x.to_f32() - 1234.567) / 1234.567).abs() < 1.0 / 64.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CustomFloat {
+    sign: bool,
+    /// Biased exponent; 0 together with `frac == 0` encodes zero.
+    exp: u16,
+    /// 5-bit fraction field (hidden leading one not stored).
+    frac: u8,
+}
+
+impl CustomFloat {
+    /// Positive zero.
+    #[must_use]
+    pub const fn zero() -> Self {
+        Self { sign: false, exp: 0, frac: 0 }
+    }
+
+    /// One.
+    #[must_use]
+    pub fn one() -> Self {
+        Self::from_f64(1.0)
+    }
+
+    /// Largest finite value of the format.
+    #[must_use]
+    pub fn max_value() -> Self {
+        Self { sign: false, exp: EXP_MAX as u16, frac: (1 << FRAC_BITS) - 1 }
+    }
+
+    /// Encodes an `f64`, rounding the mantissa to 5 bits; flushes to zero
+    /// below the smallest normal and saturates above the largest normal.
+    /// NaN encodes as zero (the datapath cannot produce NaN).
+    #[must_use]
+    pub fn from_f64(value: f64) -> Self {
+        if value == 0.0 || value.is_nan() {
+            return Self::zero();
+        }
+        let sign = value < 0.0;
+        let mag = value.abs();
+        // Decompose into mantissa in [1, 2) and exponent.
+        let e = mag.log2().floor() as i32;
+        let mut exp = e;
+        let mut mant = mag / f64::powi(2.0, e);
+        // Round mantissa to FRAC_BITS fractional bits.
+        let scale = f64::from(1u32 << FRAC_BITS);
+        let mut m = (mant * scale).round() / scale;
+        if m >= 2.0 {
+            m /= 2.0;
+            exp += 1;
+        }
+        mant = m;
+        let biased = exp + BIAS;
+        if biased <= 0 {
+            return Self { sign, exp: 0, frac: 0 }; // flush to zero
+        }
+        if biased > EXP_MAX {
+            return Self { sign, exp: EXP_MAX as u16, frac: (1 << FRAC_BITS) - 1 };
+        }
+        let frac = ((mant - 1.0) * scale).round() as u8;
+        Self { sign, exp: biased as u16, frac }
+    }
+
+    /// Encodes an `f32` (see [`CustomFloat::from_f64`]).
+    #[must_use]
+    pub fn from_f32(value: f32) -> Self {
+        Self::from_f64(f64::from(value))
+    }
+
+    /// Decodes to `f64` (exact).
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        let mant = 1.0 + f64::from(self.frac) / f64::from(1u32 << FRAC_BITS);
+        let mag = mant * f64::powi(2.0, i32::from(self.exp) - BIAS);
+        if self.sign {
+            -mag
+        } else {
+            mag
+        }
+    }
+
+    /// Decodes to `f32`.
+    #[must_use]
+    pub fn to_f32(&self) -> f32 {
+        self.to_f64() as f32
+    }
+
+    /// True for (positive or negative) zero.
+    #[must_use]
+    pub const fn is_zero(&self) -> bool {
+        self.exp == 0 && self.frac == 0
+    }
+
+    /// The sign bit.
+    #[must_use]
+    pub const fn is_negative(&self) -> bool {
+        self.sign
+    }
+
+    /// The biased 10-bit exponent field.
+    #[must_use]
+    pub const fn biased_exponent(&self) -> u16 {
+        self.exp
+    }
+
+    /// The 5-bit fraction field (without the hidden one).
+    #[must_use]
+    pub const fn fraction(&self) -> u8 {
+        self.frac
+    }
+
+    /// The 6-bit significand including the hidden leading one
+    /// (zero for the value zero).
+    #[must_use]
+    pub const fn significand(&self) -> u8 {
+        if self.is_zero() {
+            0
+        } else {
+            (1 << FRAC_BITS) | self.frac
+        }
+    }
+
+    /// Worst-case relative representation error of the format (`2^-(FRAC_BITS+1)`).
+    #[must_use]
+    pub fn epsilon() -> f64 {
+        f64::powi(2.0, -(FRAC_BITS as i32 + 1))
+    }
+
+    /// Packs into the 16-bit wire representation `[sign | exp(10) | frac(5)]`.
+    #[must_use]
+    pub fn to_bits(&self) -> u16 {
+        (u16::from(self.sign) << 15) | (self.exp << FRAC_BITS) | u16::from(self.frac)
+    }
+
+    /// Unpacks the 16-bit wire representation.
+    #[must_use]
+    pub fn from_bits(bits: u16) -> Self {
+        Self {
+            sign: bits >> 15 == 1,
+            exp: (bits >> FRAC_BITS) & ((1 << EXP_BITS) - 1),
+            frac: (bits & ((1 << FRAC_BITS) - 1)) as u8,
+        }
+    }
+}
+
+impl Add for CustomFloat {
+    type Output = CustomFloat;
+
+    /// Hardware-style addition: align significands, add/subtract exactly over
+    /// integers, renormalize, round to nearest.
+    fn add(self, rhs: CustomFloat) -> CustomFloat {
+        if self.is_zero() {
+            return rhs;
+        }
+        if rhs.is_zero() {
+            return self;
+        }
+        // Work with signed significands scaled so bit 0 is 2^(exp - BIAS - FRAC_BITS).
+        let (hi, lo) = if self.exp >= rhs.exp { (self, rhs) } else { (rhs, self) };
+        let shift = u32::from(hi.exp - lo.exp);
+        // Keep 3 guard bits for rounding fidelity; beyond ~12 bits the small
+        // operand vanishes entirely.
+        const GUARD: u32 = 3;
+        let hi_sig = i64::from(hi.significand()) << GUARD;
+        let lo_sig = if shift >= 32 {
+            0
+        } else {
+            (i64::from(lo.significand()) << GUARD) >> shift
+        };
+        let hi_signed = if hi.sign { -hi_sig } else { hi_sig };
+        let lo_signed = if lo.sign { -lo_sig } else { lo_sig };
+        let sum = hi_signed + lo_signed;
+        if sum == 0 {
+            return CustomFloat::zero();
+        }
+        let sign = sum < 0;
+        let mut mag = sum.unsigned_abs();
+        // `mag` currently has FRAC_BITS+GUARD fractional bits relative to
+        // 2^(hi.exp - BIAS). Renormalize into [1, 2).
+        let mut exp = i32::from(hi.exp);
+        let target_msb = FRAC_BITS + GUARD; // bit index of the hidden one
+        let msb = 63 - mag.leading_zeros();
+        if msb > target_msb {
+            let sh = msb - target_msb;
+            // Round to nearest on the bits we shift out.
+            let half = 1u64 << (sh - 1);
+            mag = (mag + half) >> sh;
+            exp += sh as i32;
+            // Rounding may have carried into a new bit.
+            if 63 - mag.leading_zeros() > target_msb {
+                mag >>= 1;
+                exp += 1;
+            }
+        } else if msb < target_msb {
+            let sh = target_msb - msb;
+            mag <<= sh;
+            exp -= sh as i32;
+        }
+        // Drop guard bits with round-to-nearest.
+        let half = 1u64 << (GUARD - 1);
+        let mut sig = (mag + half) >> GUARD;
+        if sig >> (FRAC_BITS + 1) != 0 {
+            sig >>= 1;
+            exp += 1;
+        }
+        if exp <= 0 || sig == 0 {
+            return CustomFloat::zero();
+        }
+        if exp > EXP_MAX {
+            let mut sat = CustomFloat::max_value();
+            sat.sign = sign;
+            return sat;
+        }
+        CustomFloat { sign, exp: exp as u16, frac: (sig & ((1 << FRAC_BITS) - 1)) as u8 }
+    }
+}
+
+impl Mul for CustomFloat {
+    type Output = CustomFloat;
+
+    /// Hardware-style multiplication: 6×6-bit significand multiply,
+    /// renormalize, round to nearest.
+    fn mul(self, rhs: CustomFloat) -> CustomFloat {
+        if self.is_zero() || rhs.is_zero() {
+            return CustomFloat::zero();
+        }
+        let sign = self.sign ^ rhs.sign;
+        let prod = u32::from(self.significand()) * u32::from(rhs.significand());
+        // prod has 2*FRAC_BITS fractional bits and lies in [2^(2F), 2^(2F+2)).
+        let mut exp = i32::from(self.exp) + i32::from(rhs.exp) - BIAS;
+        let mut mag = u64::from(prod);
+        let target_msb = 2 * FRAC_BITS;
+        let msb = 63 - mag.leading_zeros();
+        if msb > target_msb {
+            debug_assert_eq!(msb, target_msb + 1);
+            exp += 1;
+            // Renormalize by treating one extra fractional bit below.
+            mag = (mag + 1) >> 1;
+        }
+        // Round 2F fractional bits down to F.
+        let half = 1u64 << (FRAC_BITS - 1);
+        let mut sig = (mag + half) >> FRAC_BITS;
+        if sig >> (FRAC_BITS + 1) != 0 {
+            sig >>= 1;
+            exp += 1;
+        }
+        if exp <= 0 {
+            return CustomFloat::zero();
+        }
+        if exp > EXP_MAX {
+            let mut sat = CustomFloat::max_value();
+            sat.sign = sign;
+            return sat;
+        }
+        CustomFloat { sign, exp: exp as u16, frac: (sig & ((1 << FRAC_BITS) - 1)) as u8 }
+    }
+}
+
+impl Neg for CustomFloat {
+    type Output = CustomFloat;
+
+    fn neg(self) -> CustomFloat {
+        if self.is_zero() {
+            self
+        } else {
+            CustomFloat { sign: !self.sign, ..self }
+        }
+    }
+}
+
+impl PartialOrd for CustomFloat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.to_f64().partial_cmp(&other.to_f64())
+    }
+}
+
+impl From<f32> for CustomFloat {
+    fn from(value: f32) -> Self {
+        Self::from_f32(value)
+    }
+}
+
+impl fmt::Display for CustomFloat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_round_trip() {
+        assert_eq!(CustomFloat::zero().to_f64(), 0.0);
+        assert_eq!(CustomFloat::from_f64(0.0), CustomFloat::zero());
+        assert!(CustomFloat::from_f64(f64::NAN).is_zero());
+    }
+
+    #[test]
+    fn exact_powers_of_two() {
+        for e in [-10i32, -3, 0, 1, 7, 40, 100] {
+            let v = f64::powi(2.0, e);
+            assert_eq!(CustomFloat::from_f64(v).to_f64(), v, "2^{e}");
+        }
+    }
+
+    #[test]
+    fn relative_error_bound() {
+        let eps = CustomFloat::epsilon();
+        for &v in &[1.0, 3.3, 0.07, 12345.6, 1e-30, 1e30, -2.7, -9999.0] {
+            let enc = CustomFloat::from_f64(v).to_f64();
+            let rel = ((enc - v) / v).abs();
+            assert!(rel <= eps + 1e-12, "value {v}: rel err {rel} > {eps}");
+        }
+    }
+
+    #[test]
+    fn huge_range_covers_exponent_outputs() {
+        // exp of attention scores: scores bounded by |q||k| <= 32*32*64 = 65536
+        // is out of range for any float; realistic scaled scores are < ~64.
+        // e^64 ~ 6.2e27 must be representable.
+        let v = 6.2e27;
+        let enc = CustomFloat::from_f64(v);
+        assert!(((enc.to_f64() - v) / v).abs() < CustomFloat::epsilon() + 1e-12);
+        // And tiny values from e^-64.
+        let t = 1.6e-28;
+        let enc = CustomFloat::from_f64(t);
+        assert!(((enc.to_f64() - t) / t).abs() < CustomFloat::epsilon() + 1e-12);
+    }
+
+    #[test]
+    fn saturation_and_flush() {
+        assert_eq!(CustomFloat::from_f64(1e200), CustomFloat::max_value());
+        assert!(CustomFloat::from_f64(1e-200).is_zero());
+    }
+
+    #[test]
+    fn addition_basic() {
+        let a = CustomFloat::from_f64(1.0);
+        let b = CustomFloat::from_f64(2.5);
+        assert_eq!((a + b).to_f64(), 3.5);
+        assert_eq!((a + CustomFloat::zero()).to_f64(), 1.0);
+        assert_eq!((CustomFloat::zero() + b).to_f64(), 2.5);
+    }
+
+    #[test]
+    fn addition_cancellation() {
+        let a = CustomFloat::from_f64(5.0);
+        let b = CustomFloat::from_f64(-5.0);
+        assert!((a + b).is_zero());
+    }
+
+    #[test]
+    fn addition_with_misaligned_exponents() {
+        let a = CustomFloat::from_f64(1024.0);
+        let b = CustomFloat::from_f64(1.0);
+        // 1.0 is below the rounding granularity of 1024 (step 32) -> absorbed.
+        let sum = (a + b).to_f64();
+        assert!(sum == 1024.0 || sum == 1056.0, "sum = {sum}");
+    }
+
+    #[test]
+    fn addition_accumulates_with_bounded_error() {
+        // Accumulating n equal values must track n*v within ~n*eps relative.
+        let v = 0.37;
+        let mut acc = CustomFloat::zero();
+        for _ in 0..100 {
+            acc = acc + CustomFloat::from_f64(v);
+        }
+        let exact = 37.0;
+        let rel = ((acc.to_f64() - exact) / exact).abs();
+        assert!(rel < 0.2, "accumulated rel err {rel}");
+    }
+
+    #[test]
+    fn multiplication_basic() {
+        let a = CustomFloat::from_f64(3.0);
+        let b = CustomFloat::from_f64(0.5);
+        assert_eq!((a * b).to_f64(), 1.5);
+        assert!((a * CustomFloat::zero()).is_zero());
+    }
+
+    #[test]
+    fn multiplication_error_bound() {
+        let vals = [1.7, -0.33, 250.0, 1e-5, 7.77];
+        for &x in &vals {
+            for &y in &vals {
+                let prod = (CustomFloat::from_f64(x) * CustomFloat::from_f64(y)).to_f64();
+                let exact = CustomFloat::from_f64(x).to_f64() * CustomFloat::from_f64(y).to_f64();
+                let rel = ((prod - exact) / exact).abs();
+                assert!(rel <= CustomFloat::epsilon() + 1e-12, "{x}*{y}: rel {rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiplication_saturates() {
+        let big = CustomFloat::from_f64(1e80);
+        let sat = big * big;
+        assert_eq!(sat, CustomFloat::max_value());
+    }
+
+    #[test]
+    fn negation() {
+        let a = CustomFloat::from_f64(2.0);
+        assert_eq!((-a).to_f64(), -2.0);
+        assert_eq!((-CustomFloat::zero()).to_f64(), 0.0);
+    }
+
+    #[test]
+    fn bit_packing_round_trip() {
+        for &v in &[0.0, 1.0, -1.0, 3.25, 1e20, -1e-20] {
+            let c = CustomFloat::from_f64(v);
+            assert_eq!(CustomFloat::from_bits(c.to_bits()), c);
+        }
+    }
+
+    #[test]
+    fn ordering_matches_f64() {
+        let a = CustomFloat::from_f64(1.5);
+        let b = CustomFloat::from_f64(2.0);
+        assert!(a < b);
+        assert!(-b < a);
+    }
+
+    #[test]
+    fn format_is_16_bits_wide() {
+        // sign(1) + exp(10) + frac(5) = 16: the wire repr must use all of u16.
+        let max = CustomFloat::max_value();
+        assert_eq!(max.to_bits(), 0x7FFF);
+        let neg_max = -max;
+        assert_eq!(neg_max.to_bits(), 0xFFFF);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", CustomFloat::one()).is_empty());
+    }
+}

@@ -1,0 +1,243 @@
+//! Whole-model offload: run every attention sub-layer of a transformer on
+//! the simulated accelerators and combine with the host's non-attention
+//! cost (§V-C, *Impact on End-to-End Performance*).
+
+use elsa_attention::exact::AttentionInputs;
+use elsa_attention::TransformerConfig;
+use elsa_baselines::GpuModel;
+use elsa_core::attention::{ElsaAttention, ElsaParams, SelectionStats};
+use elsa_linalg::SeededRng;
+use elsa_sim::{AcceleratorConfig, ElsaAccelerator};
+
+use crate::scheduler::BatchScheduler;
+
+/// Per-layer result of one offloaded inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerReport {
+    /// Makespan of this layer's head-invocations across the accelerators.
+    pub attention_makespan_s: f64,
+    /// What the GPU would have spent on those same attention kernels.
+    pub gpu_attention_s: f64,
+    /// Host-side (GPU) time for projections / FFN / norms of this layer.
+    pub host_other_s: f64,
+    /// Aggregated candidate statistics over the layer's heads.
+    pub stats: SelectionStats,
+}
+
+/// The result of one full offloaded inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelReport {
+    /// One entry per layer.
+    pub layers: Vec<LayerReport>,
+}
+
+impl ModelReport {
+    /// Total inference time with attention offloaded to ELSA.
+    #[must_use]
+    pub fn offloaded_time_s(&self) -> f64 {
+        self.layers.iter().map(|l| l.attention_makespan_s + l.host_other_s).sum()
+    }
+
+    /// Total inference time with everything on the GPU.
+    #[must_use]
+    pub fn gpu_only_time_s(&self) -> f64 {
+        self.layers.iter().map(|l| l.gpu_attention_s + l.host_other_s).sum()
+    }
+
+    /// End-to-end speedup from offloading (the §V-C headline).
+    #[must_use]
+    pub fn end_to_end_speedup(&self) -> f64 {
+        self.gpu_only_time_s() / self.offloaded_time_s()
+    }
+
+    /// Mean candidate fraction across all sub-layers.
+    #[must_use]
+    pub fn candidate_fraction(&self) -> f64 {
+        let mut merged = SelectionStats::default();
+        for l in &self.layers {
+            merged = merged.merged(&l.stats);
+        }
+        merged.candidate_fraction()
+    }
+}
+
+/// A transformer model whose attention sub-layers run on ELSA accelerators.
+///
+/// Calibration learns one threshold per sub-layer (the [`crate::ThresholdTable`]
+/// protocol) and deploys one [`ElsaAttention`] operator per sub-layer; the
+/// hash projection is shared across sub-layers, matching hardware whose
+/// Kronecker factor registers are loaded once.
+#[derive(Debug)]
+pub struct ModelOffload {
+    config: TransformerConfig,
+    accel_config: AcceleratorConfig,
+    scheduler: BatchScheduler,
+    operators: Vec<ElsaAttention>,
+}
+
+impl ModelOffload {
+    /// Calibrates the per-sublayer thresholds at degree-of-approximation `p`
+    /// from `calibration_batches` invocations per sub-layer, produced by
+    /// `generator(layer, head, batch, rng)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calibration_batches == 0`, or the model's head dimension
+    /// differs from the accelerator's `d`.
+    #[must_use]
+    pub fn calibrate(
+        config: TransformerConfig,
+        accel_config: AcceleratorConfig,
+        scheduler: BatchScheduler,
+        p: f64,
+        mut generator: impl FnMut(usize, usize, usize, &mut SeededRng) -> AttentionInputs,
+        calibration_batches: usize,
+        rng: &mut SeededRng,
+    ) -> Self {
+        assert!(calibration_batches > 0, "need calibration data");
+        assert_eq!(config.d_head(), accel_config.d, "head dimension must match hardware");
+        let params = ElsaParams::for_dims(accel_config.d, accel_config.k, rng);
+        let mut operators = Vec::with_capacity(config.attention_sublayers());
+        for layer in 0..config.num_layers {
+            for head in 0..config.num_heads {
+                let batches: Vec<AttentionInputs> = (0..calibration_batches)
+                    .map(|b| generator(layer, head, b, rng))
+                    .collect();
+                operators.push(ElsaAttention::learn(params.clone(), &batches, p));
+            }
+        }
+        Self { config, accel_config, scheduler, operators }
+    }
+
+    /// The per-sublayer operator (layer-major, head-minor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    #[must_use]
+    pub fn operator(&self, layer: usize, head: usize) -> &ElsaAttention {
+        assert!(layer < self.config.num_layers && head < self.config.num_heads);
+        &self.operators[layer * self.config.num_heads + head]
+    }
+
+    /// The learned thresholds, layer-major.
+    #[must_use]
+    pub fn thresholds(&self) -> Vec<f64> {
+        self.operators.iter().map(ElsaAttention::threshold).collect()
+    }
+
+    /// Runs one inference: `generator(layer, head, rng)` supplies each
+    /// sub-layer's (projected) attention inputs; every invocation runs on
+    /// the cycle-level simulator, heads are scheduled across the
+    /// accelerators, and the host cost model fills in the rest of the layer.
+    #[must_use]
+    pub fn run(
+        &self,
+        mut generator: impl FnMut(usize, usize, &mut SeededRng) -> AttentionInputs,
+        rng: &mut SeededRng,
+    ) -> ModelReport {
+        let gpu = GpuModel::v100();
+        let padded = self.config.max_seq_len;
+        let mut layers = Vec::with_capacity(self.config.num_layers);
+        for layer in 0..self.config.num_layers {
+            let mut latencies = Vec::with_capacity(self.config.num_heads);
+            let mut stats = SelectionStats::default();
+            for head in 0..self.config.num_heads {
+                let inputs = generator(layer, head, rng);
+                let accel = ElsaAccelerator::new(
+                    self.accel_config,
+                    self.operator(layer, head).clone(),
+                );
+                let report = accel.run(&inputs);
+                latencies.push(report.cycles.seconds(&self.accel_config));
+                stats = stats.merged(&report.stats);
+            }
+            let schedule = self.scheduler.schedule(&latencies);
+            layers.push(LayerReport {
+                attention_makespan_s: schedule.makespan_s(),
+                gpu_attention_s: gpu.attention_kernel_time_s(padded, self.config.d_head())
+                    * self.config.num_heads as f64,
+                host_other_s: gpu.non_attention_layer_time_s(&self.config, padded),
+                stats,
+            });
+        }
+        ModelReport { layers }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::SchedulePolicy;
+    use elsa_workloads::AttentionPatternConfig;
+
+    fn small_model() -> TransformerConfig {
+        TransformerConfig::new(2, 128, 2, 256, 128)
+    }
+
+    fn generator(layer: usize, head: usize, rng: &mut SeededRng) -> AttentionInputs {
+        // Sub-layers differ in peakedness, like real heads do.
+        let relevant = 3 + layer * 2 + head;
+        AttentionPatternConfig::new(128, 64, relevant, 2.0).generate(rng)
+    }
+
+    fn offload(p: f64) -> ModelOffload {
+        let mut rng = SeededRng::new(1);
+        ModelOffload::calibrate(
+            small_model(),
+            AcceleratorConfig { n_max: 128, ..AcceleratorConfig::paper() },
+            BatchScheduler::new(12, 1.0e-6, SchedulePolicy::LongestFirst),
+            p,
+            |l, h, _b, rng| generator(l, h, rng),
+            2,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn calibration_produces_per_sublayer_thresholds() {
+        let model = offload(1.0);
+        let thresholds = model.thresholds();
+        assert_eq!(thresholds.len(), 4);
+        assert!(thresholds.iter().all(|t| t.is_finite()));
+        // Different profiles => not all identical.
+        let first = thresholds[0];
+        assert!(thresholds.iter().any(|&t| (t - first).abs() > 1e-6));
+    }
+
+    #[test]
+    fn offloaded_inference_beats_gpu_only() {
+        let model = offload(1.0);
+        let mut rng = SeededRng::new(2);
+        let report = model.run(generator, &mut rng);
+        assert_eq!(report.layers.len(), 2);
+        assert!(report.end_to_end_speedup() > 1.0, "speedup {}", report.end_to_end_speedup());
+        assert!(report.candidate_fraction() < 1.0);
+        assert!(report.offloaded_time_s() > 0.0);
+    }
+
+    #[test]
+    fn more_aggressive_p_is_not_slower() {
+        let mut rng = SeededRng::new(3);
+        let conservative = offload(0.5).run(generator, &mut rng);
+        let mut rng = SeededRng::new(3);
+        let aggressive = offload(4.0).run(generator, &mut rng);
+        assert!(aggressive.offloaded_time_s() <= conservative.offloaded_time_s() + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "head dimension must match")]
+    fn rejects_dimension_mismatch() {
+        let mut rng = SeededRng::new(4);
+        let bad = TransformerConfig::new(1, 96, 3, 128, 64); // d_head = 32
+        let _ = ModelOffload::calibrate(
+            bad,
+            AcceleratorConfig::paper(),
+            BatchScheduler::paper(),
+            1.0,
+            |l, h, _b, rng| generator(l, h, rng),
+            1,
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! Serving-style simulation: a stream of variable-length attention requests
+//! through the twelve-accelerator deployment.
+//!
+//! Real serving traffic (the paper's SQuAD/MovieLens datasets) mixes
+//! sequence lengths; because ELSA skips padding, short requests finish
+//! early, and request-level latency percentiles — not just means — decide
+//! deployability. This module models a simple FIFO dispatcher: requests are
+//! assigned to accelerators in arrival order, each accelerator serializes
+//! its queue, and per-request completion times fall out.
+
+use elsa_attention::exact::AttentionInputs;
+use elsa_core::ElsaAttention;
+use elsa_linalg::ops;
+use elsa_sim::{AcceleratorConfig, ElsaAccelerator};
+
+/// Completion record of one request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestRecord {
+    /// Number of real entities in the request.
+    pub n_real: usize,
+    /// Pure execution latency on its accelerator.
+    pub service_s: f64,
+    /// Time from arrival (all requests arrive at t = 0) to completion,
+    /// including queueing behind earlier requests.
+    pub completion_s: f64,
+}
+
+/// Aggregated serving metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingReport {
+    /// Per-request records, in arrival order.
+    pub records: Vec<RequestRecord>,
+}
+
+impl ServingReport {
+    /// Completion-time percentile (e.g. 50.0, 95.0, 99.0).
+    #[must_use]
+    pub fn completion_percentile_s(&self, q: f64) -> f64 {
+        let times: Vec<f64> = self.records.iter().map(|r| r.completion_s).collect();
+        ops::percentile(&times, q)
+    }
+
+    /// Mean pure service time.
+    #[must_use]
+    pub fn mean_service_s(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.service_s).sum::<f64>() / self.records.len() as f64
+    }
+
+    /// Aggregate throughput: requests divided by the last completion time.
+    #[must_use]
+    pub fn throughput_per_s(&self) -> f64 {
+        let makespan = self
+            .records
+            .iter()
+            .map(|r| r.completion_s)
+            .fold(0.0f64, f64::max);
+        if makespan == 0.0 {
+            0.0
+        } else {
+            self.records.len() as f64 / makespan
+        }
+    }
+}
+
+/// A FIFO multi-accelerator inference server around one trained operator.
+#[derive(Debug)]
+pub struct InferenceServer {
+    accel_config: AcceleratorConfig,
+    operator: ElsaAttention,
+}
+
+impl InferenceServer {
+    /// Builds the server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operator does not fit the hardware configuration.
+    #[must_use]
+    pub fn new(accel_config: AcceleratorConfig, operator: ElsaAttention) -> Self {
+        accel_config.validate();
+        assert_eq!(operator.params().hasher().dim(), accel_config.d);
+        Self { accel_config, operator }
+    }
+
+    /// Serves a batch of requests arriving simultaneously, dispatching them
+    /// FIFO over the configured number of accelerators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request exceeds the hardware's `n_max`.
+    #[must_use]
+    pub fn serve(&self, requests: &[AttentionInputs]) -> ServingReport {
+        let accel = ElsaAccelerator::new(self.accel_config, self.operator.clone());
+        let mut free_at = vec![0.0f64; self.accel_config.num_accelerators];
+        let mut records = Vec::with_capacity(requests.len());
+        for request in requests {
+            let report = accel.run(request);
+            let service = report.cycles.seconds(&self.accel_config);
+            // FIFO: take the accelerator that frees up first.
+            let (idx, _) = free_at
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+                .expect("at least one accelerator");
+            free_at[idx] += service;
+            records.push(RequestRecord {
+                n_real: request.num_keys(),
+                service_s: service,
+                completion_s: free_at[idx],
+            });
+        }
+        ServingReport { records }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elsa_core::attention::ElsaParams;
+    use elsa_linalg::SeededRng;
+    use elsa_workloads::{DatasetKind, ModelKind, Workload};
+
+    fn server(seed: u64) -> InferenceServer {
+        let workload = Workload { model: ModelKind::SasRec, dataset: DatasetKind::MovieLens1M };
+        let mut rng = SeededRng::new(seed);
+        let train = workload.generate_batch(1, &mut rng);
+        let operator = ElsaAttention::learn(
+            ElsaParams::for_dims(64, 64, &mut SeededRng::new(seed + 1)),
+            &train,
+            1.0,
+        );
+        InferenceServer::new(
+            AcceleratorConfig { n_max: 200, ..AcceleratorConfig::paper() },
+            operator,
+        )
+    }
+
+    fn requests(count: usize, seed: u64) -> Vec<AttentionInputs> {
+        let workload = Workload { model: ModelKind::SasRec, dataset: DatasetKind::MovieLens1M };
+        let mut rng = SeededRng::new(seed);
+        workload.generate_batch(count, &mut rng)
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let server = server(1);
+        let report = server.serve(&requests(24, 2));
+        let p50 = report.completion_percentile_s(50.0);
+        let p95 = report.completion_percentile_s(95.0);
+        let p99 = report.completion_percentile_s(99.0);
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p50 > 0.0);
+    }
+
+    #[test]
+    fn short_requests_have_short_service() {
+        let server = server(3);
+        let report = server.serve(&requests(24, 4));
+        // Service time must correlate with request length: compare the
+        // shortest and longest requests directly.
+        let min = report.records.iter().min_by_key(|r| r.n_real).expect("nonempty");
+        let max = report.records.iter().max_by_key(|r| r.n_real).expect("nonempty");
+        if max.n_real > min.n_real + 40 {
+            assert!(max.service_s > min.service_s, "padding-free service times");
+        }
+    }
+
+    #[test]
+    fn throughput_scales_with_accelerators() {
+        let workload_requests = requests(48, 5);
+        let one = {
+            let mut s = server(6);
+            s.accel_config.num_accelerators = 1;
+            s.serve(&workload_requests).throughput_per_s()
+        };
+        let twelve = {
+            let mut s = server(6);
+            s.accel_config.num_accelerators = 12;
+            s.serve(&workload_requests).throughput_per_s()
+        };
+        let ratio = twelve / one;
+        assert!(ratio > 6.0, "12-accelerator scaling only {ratio}x");
+    }
+
+    #[test]
+    fn empty_request_stream() {
+        let server = server(7);
+        let report = server.serve(&[]);
+        assert_eq!(report.throughput_per_s(), 0.0);
+        assert_eq!(report.mean_service_s(), 0.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Per-sublayer threshold tables (§III-E).
+//!
+//! "It is impractical to leave these layer-specific threshold values as
+//! user-defined hyperparameters, especially for models like BERT-large which
+//! has 384 sub-layers utilizing the self-attention mechanism" — so the user
+//! sets one `p`, and the runtime learns one threshold `t` per (layer, head)
+//! from calibration data. Different sub-layers genuinely need different
+//! thresholds: attention heads differ widely in how peaked their score
+//! distributions are (Clark et al. 2019), which this module's tests exercise
+//! by calibrating sub-layers with different synthetic profiles.
+
+use elsa_attention::exact::AttentionInputs;
+use elsa_attention::TransformerConfig;
+use elsa_core::threshold::ThresholdLearner;
+
+/// A learned threshold for every attention sub-layer of a model.
+///
+/// Indexed by `(layer, head)`; BERT-large yields 384 entries.
+///
+/// # Examples
+///
+/// ```
+/// use elsa_runtime::ThresholdTable;
+/// use elsa_attention::TransformerConfig;
+///
+/// let cfg = TransformerConfig::new(2, 128, 2, 256, 64);
+/// let mut table = ThresholdTable::new(&cfg, 1.0);
+/// assert_eq!(table.len(), 4);
+/// assert!(!table.is_fully_calibrated());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThresholdTable {
+    num_layers: usize,
+    num_heads: usize,
+    p: f64,
+    learners: Vec<ThresholdLearner>,
+}
+
+impl ThresholdTable {
+    /// Creates an (uncalibrated) table for every sub-layer of `config`, all
+    /// sharing the single user hyperparameter `p`.
+    #[must_use]
+    pub fn new(config: &TransformerConfig, p: f64) -> Self {
+        let count = config.attention_sublayers();
+        Self {
+            num_layers: config.num_layers,
+            num_heads: config.num_heads,
+            p,
+            learners: (0..count).map(|_| ThresholdLearner::new(p)).collect(),
+        }
+    }
+
+    /// Number of sub-layers (`layers × heads`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.learners.len()
+    }
+
+    /// True if the table has no sub-layers (never the case for a valid
+    /// config).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.learners.is_empty()
+    }
+
+    /// The shared degree-of-approximation hyperparameter.
+    #[must_use]
+    pub const fn p(&self) -> f64 {
+        self.p
+    }
+
+    fn index(&self, layer: usize, head: usize) -> usize {
+        assert!(layer < self.num_layers, "layer {layer} out of range");
+        assert!(head < self.num_heads, "head {head} out of range");
+        layer * self.num_heads + head
+    }
+
+    /// Feeds one calibration invocation to sub-layer `(layer, head)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn observe(&mut self, layer: usize, head: usize, inputs: &AttentionInputs) {
+        let idx = self.index(layer, head);
+        self.learners[idx].observe(inputs);
+    }
+
+    /// The learned threshold of a sub-layer (`-inf` ⇒ select everything, if
+    /// that sub-layer never saw calibration data).
+    #[must_use]
+    pub fn threshold(&self, layer: usize, head: usize) -> f64 {
+        self.learners[self.index(layer, head)].learned_threshold()
+    }
+
+    /// True once every sub-layer has at least one observation.
+    #[must_use]
+    pub fn is_fully_calibrated(&self) -> bool {
+        self.learners.iter().all(|l| l.observations() > 0)
+    }
+
+    /// All thresholds in `(layer-major, head-minor)` order.
+    #[must_use]
+    pub fn thresholds(&self) -> Vec<f64> {
+        self.learners.iter().map(ThresholdLearner::learned_threshold).collect()
+    }
+
+    /// Spread of the learned thresholds `(min, max)` — the quantity that
+    /// justifies per-sublayer learning over a single global threshold.
+    ///
+    /// Returns `None` if nothing is calibrated yet.
+    #[must_use]
+    pub fn spread(&self) -> Option<(f64, f64)> {
+        let finite: Vec<f64> =
+            self.thresholds().into_iter().filter(|t| t.is_finite()).collect();
+        if finite.is_empty() {
+            return None;
+        }
+        let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some((min, max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elsa_linalg::{Matrix, SeededRng};
+    use elsa_workloads::AttentionPatternConfig;
+
+    fn cfg() -> TransformerConfig {
+        TransformerConfig::new(3, 128, 2, 256, 64)
+    }
+
+    fn invocation(peaked: bool, seed: u64) -> AttentionInputs {
+        let mut rng = SeededRng::new(seed);
+        if peaked {
+            AttentionPatternConfig::new(64, 64, 3, 2.5).generate(&mut rng)
+        } else {
+            let flat = AttentionPatternConfig {
+                score_scale: 3.0,
+                ..AttentionPatternConfig::new(64, 64, 12, 1.1)
+            };
+            flat.generate(&mut rng)
+        }
+    }
+
+    #[test]
+    fn bert_large_has_384_entries() {
+        let bert = TransformerConfig::new(24, 1024, 16, 4096, 512);
+        let table = ThresholdTable::new(&bert, 1.0);
+        assert_eq!(table.len(), 384);
+    }
+
+    #[test]
+    fn calibration_tracks_per_sublayer() {
+        let mut table = ThresholdTable::new(&cfg(), 1.0);
+        assert!(!table.is_fully_calibrated());
+        for layer in 0..3 {
+            for head in 0..2 {
+                table.observe(layer, head, &invocation(true, 10 + (layer * 2 + head) as u64));
+            }
+        }
+        assert!(table.is_fully_calibrated());
+        assert_eq!(table.thresholds().len(), 6);
+        assert!(table.thresholds().iter().all(|t| t.is_finite()));
+    }
+
+    #[test]
+    fn different_profiles_learn_different_thresholds() {
+        // A peaked sub-layer and a flat sub-layer must end up with visibly
+        // different thresholds — the reason per-sublayer learning exists.
+        let mut table = ThresholdTable::new(&cfg(), 1.0);
+        table.observe(0, 0, &invocation(true, 1));
+        table.observe(0, 1, &invocation(false, 2));
+        let peaked_t = table.threshold(0, 0);
+        let flat_t = table.threshold(0, 1);
+        assert!(
+            (peaked_t - flat_t).abs() > 0.05,
+            "peaked {peaked_t} vs flat {flat_t} should differ"
+        );
+        let (min, max) = table.spread().expect("calibrated");
+        assert!(min < max);
+    }
+
+    #[test]
+    fn uncalibrated_sublayer_selects_everything() {
+        let table = ThresholdTable::new(&cfg(), 1.0);
+        assert_eq!(table.threshold(2, 1), f64::NEG_INFINITY);
+        assert!(table.spread().is_none());
+    }
+
+    #[test]
+    fn zero_key_calibration_data_is_harmless() {
+        let mut table = ThresholdTable::new(&cfg(), 1.0);
+        let degenerate = AttentionInputs::new(
+            Matrix::zeros(4, 64),
+            Matrix::zeros(4, 64),
+            Matrix::zeros(4, 64),
+        );
+        table.observe(0, 0, &degenerate);
+        assert_eq!(table.threshold(0, 0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "head 5 out of range")]
+    fn rejects_bad_head_index() {
+        let mut table = ThresholdTable::new(&cfg(), 1.0);
+        table.observe(0, 5, &invocation(true, 3));
+    }
+}

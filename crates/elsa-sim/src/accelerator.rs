@@ -1,0 +1,255 @@
+//! The assembled accelerator: algorithm + performance + energy in one call.
+
+use elsa_attention::exact::AttentionInputs;
+use elsa_core::{ElsaAttention, SelectionStats};
+use elsa_linalg::Matrix;
+
+use crate::config::AcceleratorConfig;
+use crate::cost::EnergyBreakdown;
+use crate::cycle::{self, CycleReport};
+use crate::functional::QuantizedElsaAttention;
+
+/// Everything one self-attention invocation produced on the accelerator.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The attention output matrix.
+    pub output: Matrix,
+    /// Candidate-selection statistics.
+    pub stats: SelectionStats,
+    /// Cycle counts (preprocessing / execution / drain).
+    pub cycles: CycleReport,
+    /// Activity-based energy breakdown.
+    pub energy: EnergyBreakdown,
+}
+
+impl RunReport {
+    /// Wall-clock latency of the invocation in seconds.
+    #[must_use]
+    pub fn latency_s(&self, config: &AcceleratorConfig) -> f64 {
+        self.cycles.seconds(config)
+    }
+}
+
+/// One ELSA accelerator driving a trained [`ElsaAttention`] operator.
+///
+/// # Examples
+///
+/// ```
+/// use elsa_sim::{AcceleratorConfig, ElsaAccelerator};
+/// use elsa_core::attention::{ElsaAttention, ElsaParams};
+/// use elsa_attention::AttentionInputs;
+/// use elsa_linalg::{Matrix, SeededRng};
+///
+/// let mut rng = SeededRng::new(1);
+/// let mut mk = || Matrix::from_fn(64, 64, |_, _| rng.standard_normal() as f32);
+/// let inputs = AttentionInputs::new(mk(), mk(), mk());
+///
+/// let operator = ElsaAttention::learn(
+///     ElsaParams::for_dims(64, 64, &mut SeededRng::new(2)),
+///     &[inputs.clone()],
+///     1.0,
+/// );
+/// let accel = ElsaAccelerator::new(AcceleratorConfig::paper(), operator);
+/// let report = accel.run(&inputs);
+/// assert!(report.cycles.total() > 0);
+/// ```
+#[derive(Debug)]
+pub struct ElsaAccelerator {
+    config: AcceleratorConfig,
+    operator: ElsaAttention,
+}
+
+impl ElsaAccelerator {
+    /// Pairs a pipeline configuration with a trained operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operator's dimensions do not fit the hardware
+    /// (`d` mismatch or `k` mismatch), or the config is inconsistent.
+    #[must_use]
+    pub fn new(config: AcceleratorConfig, operator: ElsaAttention) -> Self {
+        config.validate();
+        assert_eq!(operator.params().hasher().dim(), config.d, "operator d does not fit hardware");
+        assert_eq!(operator.params().hasher().k(), config.k, "operator k does not fit hardware");
+        Self { config, operator }
+    }
+
+    /// The pipeline configuration.
+    #[must_use]
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// The algorithm operator.
+    #[must_use]
+    pub fn operator(&self) -> &ElsaAttention {
+        &self.operator
+    }
+
+    /// Runs one invocation with the approximation enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the invocation exceeds the hardware's `n_max` or its head
+    /// dimension differs from the configured `d`.
+    #[must_use]
+    pub fn run(&self, inputs: &AttentionInputs) -> RunReport {
+        self.check_fit(inputs);
+        let (candidates, stats) = self.operator.candidates(inputs);
+        let output = elsa_attention::exact::attention_with_candidates(
+            inputs,
+            &candidates,
+            self.operator.params().scale(),
+        );
+        self.report(inputs, output, stats, &candidates)
+    }
+
+    /// Runs one invocation with the approximation *disabled*
+    /// (the ELSA-base configuration: every key processed for every query).
+    #[must_use]
+    pub fn run_base(&self, inputs: &AttentionInputs) -> RunReport {
+        self.check_fit(inputs);
+        let n = inputs.num_keys();
+        let candidates = elsa_attention::exact::full_candidates(inputs.num_queries(), n);
+        let stats = SelectionStats {
+            total_pairs: inputs.num_queries() * n,
+            selected_pairs: inputs.num_queries() * n,
+            num_queries: inputs.num_queries(),
+            num_keys: n,
+            fallback_queries: 0,
+        };
+        let output = elsa_attention::exact::attention(inputs);
+        self.report(inputs, output, stats, &candidates)
+    }
+
+    /// Runs one invocation through the bit-level quantized datapath
+    /// (§IV-E number formats) — slower, used for accuracy validation.
+    #[must_use]
+    pub fn run_quantized(&self, inputs: &AttentionInputs) -> RunReport {
+        self.check_fit(inputs);
+        let quant = QuantizedElsaAttention::from_reference(&self.operator);
+        let (output, stats) = quant.forward(inputs);
+        // Cycle counts use the f32 candidate sets; quantization moves the
+        // counts by well under a percent (tested in `functional`).
+        let (candidates, _) = self.operator.candidates(inputs);
+        self.report(inputs, output, stats, &candidates)
+    }
+
+    fn check_fit(&self, inputs: &AttentionInputs) {
+        assert!(
+            inputs.num_keys() <= self.config.n_max,
+            "invocation n = {} exceeds hardware n_max = {}",
+            inputs.num_keys(),
+            self.config.n_max
+        );
+        assert_eq!(inputs.dim(), self.config.d, "head dimension mismatch");
+    }
+
+    fn report(
+        &self,
+        inputs: &AttentionInputs,
+        output: Matrix,
+        stats: SelectionStats,
+        candidates: &[Vec<usize>],
+    ) -> RunReport {
+        let n = inputs.num_keys();
+        let cycles = cycle::simulate_execution(&self.config, n, candidates, false);
+        let energy = EnergyBreakdown::from_run(
+            &self.config,
+            &cycles,
+            inputs.num_queries(),
+            stats.selected_pairs,
+            n,
+        );
+        RunReport { output, stats, cycles, energy }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elsa_core::attention::ElsaParams;
+    use elsa_linalg::SeededRng;
+
+    fn peaked_inputs(n: usize, d: usize, seed: u64) -> AttentionInputs {
+        let mut rng = SeededRng::new(seed);
+        let k = Matrix::from_fn(n, d, |_, _| rng.standard_normal() as f32);
+        let mut q = Matrix::zeros(n, d);
+        for i in 0..n {
+            let targets = rng.sample_indices(n, 3);
+            for (rank, &t) in targets.iter().enumerate() {
+                let w = if rank == 0 { 2.0 } else { 0.6 };
+                for c in 0..d {
+                    q[(i, c)] += w * k[(t, c)];
+                }
+            }
+        }
+        let v = Matrix::from_fn(n, d, |_, _| rng.standard_normal() as f32);
+        AttentionInputs::new(q, k, v)
+    }
+
+    fn accelerator(train: &AttentionInputs, p: f64, seed: u64) -> ElsaAccelerator {
+        let operator = ElsaAttention::learn(
+            ElsaParams::for_dims(64, 64, &mut SeededRng::new(seed)),
+            std::slice::from_ref(train),
+            p,
+        );
+        ElsaAccelerator::new(AcceleratorConfig::paper(), operator)
+    }
+
+    #[test]
+    fn approximate_run_is_faster_and_cheaper_than_base() {
+        let train = peaked_inputs(128, 64, 1);
+        let test = peaked_inputs(128, 64, 2);
+        let accel = accelerator(&train, 2.0, 3);
+        let approx = accel.run(&test);
+        let base = accel.run_base(&test);
+        assert!(approx.cycles.total() < base.cycles.total());
+        assert!(approx.energy.total_j() < base.energy.total_j());
+        assert!(approx.stats.candidate_fraction() < 1.0);
+        assert!((base.stats.candidate_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn base_output_matches_exact() {
+        let train = peaked_inputs(64, 64, 4);
+        let test = peaked_inputs(64, 64, 5);
+        let accel = accelerator(&train, 1.0, 6);
+        let base = accel.run_base(&test);
+        let exact = elsa_attention::exact::attention(&test);
+        assert!(base.output.max_abs_diff(&exact) < 1e-5);
+    }
+
+    #[test]
+    fn quantized_run_tracks_f32_run() {
+        let train = peaked_inputs(64, 64, 7);
+        let test = peaked_inputs(64, 64, 8);
+        let accel = accelerator(&train, 1.0, 9);
+        let f32_run = accel.run(&test);
+        let quant_run = accel.run_quantized(&test);
+        let rel = f32_run.output.relative_frobenius_error(&quant_run.output);
+        assert!(rel < 0.3, "relative error {rel}");
+    }
+
+    #[test]
+    fn latency_positive_and_scaled_by_clock() {
+        let train = peaked_inputs(64, 64, 10);
+        let test = peaked_inputs(64, 64, 11);
+        let accel = accelerator(&train, 1.0, 12);
+        let report = accel.run(&test);
+        let t1 = report.latency_s(accel.config());
+        let mut cfg2 = *accel.config();
+        cfg2.clock_ghz = 2.0;
+        let t2 = report.cycles.seconds(&cfg2);
+        assert!((t1 / t2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds hardware n_max")]
+    fn rejects_oversized_invocation() {
+        let train = peaked_inputs(64, 64, 13);
+        let accel = accelerator(&train, 1.0, 14);
+        let big = peaked_inputs(1024, 64, 15);
+        let _ = accel.run(&big);
+    }
+}

@@ -1,0 +1,243 @@
+//! Pipeline configuration of the ELSA accelerator (§IV-D, §V-C).
+
+/// Static configuration of one ELSA accelerator instance.
+///
+/// The paper's evaluation configuration (§V-C *Methodology*) is available as
+/// [`AcceleratorConfig::paper`]: `n = 512`, `d = k = 64`, `P_a = 4`,
+/// `P_c = 8` (per bank), `m_h = 256`, `m_o = 16`, 1 GHz, and twelve
+/// accelerators for batch-level parallelism (≈13 TOPS peak, matched against
+/// the V100's 14 TFLOPS).
+///
+/// # Examples
+///
+/// ```
+/// use elsa_sim::AcceleratorConfig;
+///
+/// let cfg = AcceleratorConfig::paper();
+/// assert_eq!(cfg.attention_multipliers(), 512); // P_a · 2d
+/// assert_eq!(cfg.total_multipliers(), 528);     // + m_o (the "528" of §V-C)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcceleratorConfig {
+    /// Maximum number of input entities the memories are sized for.
+    pub n_max: usize,
+    /// Head dimension `d`.
+    pub d: usize,
+    /// Hash length `k`.
+    pub k: usize,
+    /// Number of parallel attention computation modules / memory banks `P_a`.
+    pub p_a: usize,
+    /// Candidate selection modules *per bank* `P_c`.
+    pub p_c: usize,
+    /// Multipliers in the hash computation module `m_h`.
+    pub m_h: usize,
+    /// Multipliers in the output division module `m_o`.
+    pub m_o: usize,
+    /// Clock frequency in GHz.
+    pub clock_ghz: f64,
+    /// Number of replicated accelerators exploiting batch parallelism.
+    pub num_accelerators: usize,
+}
+
+impl AcceleratorConfig {
+    /// The configuration used throughout the paper's evaluation.
+    #[must_use]
+    pub const fn paper() -> Self {
+        Self {
+            n_max: 512,
+            d: 64,
+            k: 64,
+            p_a: 4,
+            p_c: 8,
+            m_h: 256,
+            m_o: 16,
+            clock_ghz: 1.0,
+            num_accelerators: 12,
+        }
+    }
+
+    /// The single-pipeline configuration of §IV-D's walkthrough
+    /// (`P_a = 1`, `P_c = 8`, `m_h = 64`, `m_o = 8`) — the "up to 8× speedup"
+    /// example.
+    #[must_use]
+    pub const fn single_pipeline() -> Self {
+        Self {
+            n_max: 512,
+            d: 64,
+            k: 64,
+            p_a: 1,
+            p_c: 8,
+            m_h: 64,
+            m_o: 8,
+            clock_ghz: 1.0,
+            num_accelerators: 1,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero, if `n_max` is not divisible by
+    /// `p_a` (banked memories hold `n/P_a` keys each), or the clock is not
+    /// positive.
+    pub fn validate(&self) {
+        assert!(self.n_max > 0 && self.d > 0 && self.k > 0, "dimensions must be positive");
+        assert!(self.p_a > 0 && self.p_c > 0 && self.m_h > 0 && self.m_o > 0);
+        assert!(self.clock_ghz > 0.0, "clock must be positive");
+        assert!(self.num_accelerators > 0);
+        assert_eq!(self.n_max % self.p_a, 0, "n_max must divide into P_a banks");
+    }
+
+    /// Cycles the hash computation module needs per vector:
+    /// `ceil(3·d^{4/3} / m_h)` (three-way Kronecker, §IV-C).
+    #[must_use]
+    pub fn hash_cycles_per_vector(&self) -> u64 {
+        self.hash_multiplications_per_vector().div_ceil(self.m_h as u64)
+    }
+
+    /// Scalar multiplications per hash: `3·d^{4/3}` (rounded for non-cube d).
+    #[must_use]
+    pub fn hash_multiplications_per_vector(&self) -> u64 {
+        (3.0 * (self.d as f64).powf(4.0 / 3.0)).round() as u64
+    }
+
+    /// Preprocessing cycles for `n` keys plus the first query
+    /// (`3·d^{4/3}·(n+1)/m_h`, §IV-D).
+    #[must_use]
+    pub fn preprocessing_cycles(&self, n: usize) -> u64 {
+        self.hash_cycles_per_vector() * (n as u64 + 1)
+    }
+
+    /// Cycles the candidate selection stage needs to scan all keys for one
+    /// query: `ceil(n / (P_a · P_c))`.
+    #[must_use]
+    pub fn scan_cycles(&self, n: usize) -> u64 {
+        (n as u64).div_ceil((self.p_a * self.p_c) as u64)
+    }
+
+    /// Cycles the output division module needs per query: `ceil(d / m_o)`.
+    #[must_use]
+    pub fn division_cycles(&self) -> u64 {
+        (self.d as u64).div_ceil(self.m_o as u64)
+    }
+
+    /// Multipliers in the attention computation modules: `P_a · 2d`
+    /// (`d` for the dot product + `d` for the weighted sum, per module).
+    #[must_use]
+    pub const fn attention_multipliers(&self) -> usize {
+        self.p_a * 2 * self.d
+    }
+
+    /// Total datapath multipliers counted by the paper's "same number
+    /// (i.e., 528) of multipliers" ideal-accelerator comparison:
+    /// attention modules + output division.
+    #[must_use]
+    pub const fn total_multipliers(&self) -> usize {
+        self.attention_multipliers() + self.m_o
+    }
+
+    /// Peak throughput of one accelerator in operations/second
+    /// (one MAC = 2 ops). The paper quotes 1.088 TOPS for the evaluation
+    /// configuration; with 528 MAC-capable multipliers plus the selection
+    /// datapath at 1 GHz this model yields 1.056+0.032 ≈ 1.09 TOPS.
+    #[must_use]
+    pub fn peak_ops_per_second(&self) -> f64 {
+        let macs = self.total_multipliers() as f64;
+        // Candidate selection modules contribute one multiply each per cycle.
+        let sel = (self.p_a * self.p_c) as f64;
+        (2.0 * macs + sel) * self.clock_ghz * 1e9
+    }
+
+    /// Aggregate peak throughput across all replicated accelerators.
+    #[must_use]
+    pub fn aggregate_peak_ops_per_second(&self) -> f64 {
+        self.peak_ops_per_second() * self.num_accelerators as f64
+    }
+
+    /// Key hash SRAM size in bytes (`n·k/8`, §IV-C "Memory Modules").
+    #[must_use]
+    pub const fn key_hash_bytes(&self) -> usize {
+        self.n_max * self.k / 8
+    }
+
+    /// Key norm SRAM size in bytes (8-bit norms).
+    #[must_use]
+    pub const fn key_norm_bytes(&self) -> usize {
+        self.n_max
+    }
+
+    /// Size of each of the Q/K/V/O matrix memories in bytes
+    /// (9-bit elements; the paper quotes ~36 KB at `n = 512`, `d = 64`).
+    #[must_use]
+    pub const fn matrix_memory_bytes(&self) -> usize {
+        self.n_max * self.d * 9 / 8
+    }
+
+    /// Seconds per cycle.
+    #[must_use]
+    pub fn cycle_time_s(&self) -> f64 {
+        1e-9 / self.clock_ghz
+    }
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_constants() {
+        let c = AcceleratorConfig::paper();
+        c.validate();
+        assert_eq!(c.hash_multiplications_per_vector(), 768);
+        assert_eq!(c.hash_cycles_per_vector(), 3); // 768 / 256
+        assert_eq!(c.preprocessing_cycles(512), 3 * 513);
+        assert_eq!(c.scan_cycles(512), 16); // 512 / (4*8)
+        assert_eq!(c.division_cycles(), 4); // 64 / 16
+        assert_eq!(c.total_multipliers(), 528);
+    }
+
+    #[test]
+    fn paper_peak_throughput_close_to_quoted() {
+        let c = AcceleratorConfig::paper();
+        let tops = c.peak_ops_per_second() / 1e12;
+        assert!((tops - 1.088).abs() < 0.01, "peak {tops} TOPS vs paper 1.088");
+        let agg = c.aggregate_peak_ops_per_second() / 1e12;
+        assert!((agg - 13.0).abs() < 0.2, "aggregate {agg} TOPS vs paper ≈13");
+    }
+
+    #[test]
+    fn single_pipeline_example_bounds() {
+        // §IV-D: with P_c=8, m_h=64, m_o=8, every non-attention stage must
+        // take at most n/8 cycles once n >= 96.
+        let c = AcceleratorConfig::single_pipeline();
+        c.validate();
+        for n in [96usize, 128, 512] {
+            let budget = (n / 8) as u64;
+            assert!(c.hash_cycles_per_vector() <= budget, "hash at n={n}");
+            assert!(c.scan_cycles(n) <= budget, "scan at n={n}");
+            assert!(c.division_cycles() <= budget, "division at n={n}");
+        }
+    }
+
+    #[test]
+    fn memory_sizes_match_paper() {
+        let c = AcceleratorConfig::paper();
+        assert_eq!(c.key_hash_bytes(), 4096); // 4 KB
+        assert_eq!(c.key_norm_bytes(), 512); // 512 B
+        assert_eq!(c.matrix_memory_bytes(), 36_864); // ~36 KB
+    }
+
+    #[test]
+    #[should_panic(expected = "banks")]
+    fn validate_rejects_unbankable_n() {
+        let c = AcceleratorConfig { n_max: 510, ..AcceleratorConfig::paper() };
+        c.validate();
+    }
+}

@@ -1,0 +1,172 @@
+//! Pipeline occupancy timeline — a text Gantt view of Fig. 9.
+//!
+//! For a window of consecutive queries, records when each stage (hash,
+//! selection scan, attention drain, output division) is busy under the
+//! pipelined schedule: while query *i* occupies selection/attention, the
+//! hash module works on *i+1* and the division module on *i−1*. Useful for
+//! eyeballing why a configuration bottlenecks where the ablation says it
+//! does.
+
+use crate::config::AcceleratorConfig;
+use crate::cycle;
+
+/// Busy interval of one stage for one query, in execution-phase cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageInterval {
+    /// Query index within the captured window.
+    pub query: usize,
+    /// Stage index: 0 = hash (of the *next* query), 1 = selection scan,
+    /// 2 = attention drain, 3 = output division (of this query, one slot
+    /// later).
+    pub stage: usize,
+    /// First busy cycle (inclusive).
+    pub start: u64,
+    /// Last busy cycle (exclusive).
+    pub end: u64,
+}
+
+/// A captured window of pipeline activity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineTimeline {
+    intervals: Vec<StageInterval>,
+    total_cycles: u64,
+}
+
+/// Stage display names, indexed by `StageInterval::stage`.
+pub const STAGE_NAMES: [&str; 4] = ["hash(next)", "select", "attention", "divide(prev)"];
+
+impl PipelineTimeline {
+    /// Captures the execution-phase schedule of the first
+    /// `candidates.len()` queries.
+    #[must_use]
+    pub fn capture(config: &AcceleratorConfig, n: usize, candidates: &[Vec<usize>]) -> Self {
+        let report = cycle::simulate_execution(config, n, candidates, true);
+        let hash = config.hash_cycles_per_vector();
+        let scan = config.scan_cycles(n);
+        let division = config.division_cycles();
+        let mut intervals = Vec::new();
+        let mut t = 0u64;
+        for (q, &ii) in report.per_query.iter().enumerate() {
+            // Within query q's initiation interval [t, t+ii):
+            intervals.push(StageInterval { query: q, stage: 0, start: t, end: t + hash });
+            intervals.push(StageInterval { query: q, stage: 1, start: t, end: t + scan });
+            // The attention drain spans the query's whole initiation
+            // interval when it is the bottleneck; we charge it the interval
+            // (upper bound — per-bank drains can idle briefly mid-interval).
+            intervals.push(StageInterval { query: q, stage: 2, start: t, end: t + ii });
+            // Division of query q runs during the *next* interval.
+            intervals.push(StageInterval {
+                query: q,
+                stage: 3,
+                start: t + ii,
+                end: t + ii + division,
+            });
+            t += ii;
+        }
+        Self { intervals, total_cycles: t + division }
+    }
+
+    /// All recorded intervals.
+    #[must_use]
+    pub fn intervals(&self) -> &[StageInterval] {
+        &self.intervals
+    }
+
+    /// Execution cycles covered (including the last division drain).
+    #[must_use]
+    pub const fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Fraction of the window each stage spends busy, indexed by stage.
+    #[must_use]
+    pub fn occupancy(&self) -> [f64; 4] {
+        let mut busy = [0u64; 4];
+        for i in &self.intervals {
+            busy[i.stage] += i.end - i.start;
+        }
+        busy.map(|b| b as f64 / self.total_cycles.max(1) as f64)
+    }
+
+    /// Renders a text Gantt chart, `width` characters wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    #[must_use]
+    pub fn render(&self, width: usize) -> String {
+        assert!(width > 0, "width must be positive");
+        let scale = self.total_cycles.max(1) as f64 / width as f64;
+        let mut out = String::new();
+        for (stage, name) in STAGE_NAMES.iter().enumerate() {
+            let mut row = vec![b'.'; width];
+            for iv in self.intervals.iter().filter(|iv| iv.stage == stage) {
+                let a = (iv.start as f64 / scale) as usize;
+                let b = ((iv.end as f64 / scale).ceil() as usize).min(width);
+                let glyph = b'0' + (iv.query % 10) as u8;
+                for slot in row.iter_mut().take(b).skip(a.min(width)) {
+                    *slot = glyph;
+                }
+            }
+            out.push_str(&format!("{name:<13}|"));
+            out.push_str(std::str::from_utf8(&row).expect("ascii"));
+            out.push('\n');
+        }
+        out.push_str(&format!("({} execution cycles)\n", self.total_cycles));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(candidate_count: usize, queries: usize) -> Vec<Vec<usize>> {
+        let one: Vec<usize> = (0..candidate_count).map(|i| i * 4 % 512).collect();
+        let mut sorted = one;
+        sorted.sort_unstable();
+        sorted.dedup();
+        vec![sorted; queries]
+    }
+
+    #[test]
+    fn intervals_cover_every_stage_per_query() {
+        let cfg = AcceleratorConfig::paper();
+        let timeline = PipelineTimeline::capture(&cfg, 512, &window(32, 4));
+        assert_eq!(timeline.intervals().len(), 4 * 4);
+        for stage in 0..4 {
+            assert!(timeline.intervals().iter().any(|iv| iv.stage == stage));
+        }
+    }
+
+    #[test]
+    fn attention_occupancy_dominates_dense_windows() {
+        let cfg = AcceleratorConfig::paper();
+        let dense: Vec<Vec<usize>> = vec![(0..512).collect(); 4];
+        let timeline = PipelineTimeline::capture(&cfg, 512, &dense);
+        let occ = timeline.occupancy();
+        assert!(occ[2] > occ[1], "attention {} vs scan {}", occ[2], occ[1]);
+        assert!(occ[2] > 0.9);
+    }
+
+    #[test]
+    fn render_shape() {
+        let cfg = AcceleratorConfig::paper();
+        let timeline = PipelineTimeline::capture(&cfg, 512, &window(16, 3));
+        let s = timeline.render(60);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with("hash(next)"));
+        assert!(lines[3].starts_with("divide(prev)"));
+        assert!(lines[0].len() <= 14 + 60 + 1);
+    }
+
+    #[test]
+    fn total_matches_cycle_sim() {
+        let cfg = AcceleratorConfig::paper();
+        let cands = window(64, 5);
+        let timeline = PipelineTimeline::capture(&cfg, 512, &cands);
+        let report = cycle::simulate_execution(&cfg, 512, &cands, false);
+        assert_eq!(timeline.total_cycles(), report.execution + report.drain);
+    }
+}

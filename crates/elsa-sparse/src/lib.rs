@@ -1,0 +1,32 @@
+//! Software sparse-attention baselines.
+//!
+//! §V-E of the ELSA paper argues that software-only sparse attention fails
+//! to deliver wall-clock speedups at practical sequence lengths: "Reformer
+//! fails to achieve any speedup for sequence length less than 2048, due to
+//! its huge constant in their time complexity", and windowed/sparse schemes
+//! deliver "very little speedup (e.g., 20% speedup for 2% accuracy loss)".
+//! To make that comparison concrete, this crate implements the two
+//! representative software schemes **as algorithms** (producing outputs and
+//! attended-pair statistics comparable with ELSA's operator) plus
+//! wall-clock cost models on commercial hardware:
+//!
+//! * [`reformer`] — LSH bucketed attention (Kitaev et al., ICLR 2020):
+//!   multi-round sign-random-projection bucketing, intra-bucket attention;
+//! * [`local`] — sliding-window attention with optional global tokens
+//!   (the Longformer/sparse-transformer family);
+//! * [`segmented`] — fixed-segment attention, the §I status-quo workaround
+//!   whose cross-segment blindness motivates cheap long-range attention.
+//!
+//! Both reuse the exact candidate-restricted attention kernel from
+//! `elsa-attention`, so quality comparisons against ELSA are apples-to-apples.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod local;
+pub mod reformer;
+pub mod segmented;
+
+pub use local::LocalAttention;
+pub use segmented::SegmentedAttention;
+pub use reformer::{LshAttention, LshAttentionConfig};

@@ -1,0 +1,176 @@
+//! Sequence-length samplers standing in for the evaluation datasets.
+//!
+//! For the *performance* experiments the only property of a dataset that
+//! matters is how many **real** (non-padding) tokens each example has: the
+//! GPU pads everything to the model's `n` and pays for the padding, while
+//! ELSA and the ideal accelerator process only real entities (§V-C,
+//! *Throughput*). The samplers below encode the published length statistics
+//! of each dataset; parameters are documented inline.
+
+use elsa_linalg::SeededRng;
+
+/// One of the paper's evaluation datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// SQuAD v1.1 — question + Wikipedia paragraph, BERT-tokenized;
+    /// typical 120–400 tokens against a 512-token model input.
+    SquadV11,
+    /// SQuAD v2.0 — same contexts as v1.1 plus unanswerable questions;
+    /// essentially the same length profile.
+    SquadV20,
+    /// RACE — long exam passages; the vast majority saturate the 512 limit.
+    Race,
+    /// IMDB — movie reviews; median ≈230 tokens, heavy right tail truncated
+    /// at 512.
+    Imdb,
+    /// MovieLens-1M — user interaction histories capped at 200 items; every
+    /// user has ≥20 ratings and the mean is ≈165, so many saturate the cap.
+    MovieLens1M,
+}
+
+impl DatasetKind {
+    /// All five datasets.
+    #[must_use]
+    pub const fn all() -> [DatasetKind; 5] {
+        [
+            DatasetKind::SquadV11,
+            DatasetKind::SquadV20,
+            DatasetKind::Race,
+            DatasetKind::Imdb,
+            DatasetKind::MovieLens1M,
+        ]
+    }
+
+    /// Display name matching the paper's figures.
+    #[must_use]
+    pub const fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::SquadV11 => "SQuAD v1.1",
+            DatasetKind::SquadV20 => "SQuAD v2.0",
+            DatasetKind::Race => "RACE",
+            DatasetKind::Imdb => "IMDB",
+            DatasetKind::MovieLens1M => "MovieLens-1M",
+        }
+    }
+
+    /// The padded model input length this dataset is run with.
+    #[must_use]
+    pub const fn model_input_length(&self) -> usize {
+        match self {
+            DatasetKind::MovieLens1M => 200,
+            _ => 512,
+        }
+    }
+
+    /// The accuracy metric the paper reports for this dataset.
+    #[must_use]
+    pub const fn metric_name(&self) -> &'static str {
+        match self {
+            DatasetKind::SquadV11 | DatasetKind::SquadV20 => "F1",
+            DatasetKind::Race | DatasetKind::Imdb => "accuracy",
+            DatasetKind::MovieLens1M => "NDCG@10",
+        }
+    }
+
+    /// Samples the number of real tokens for one example, clamped to
+    /// `[16, model_input_length]`.
+    #[must_use]
+    pub fn sample_real_length(&self, rng: &mut SeededRng) -> usize {
+        let n = self.model_input_length();
+        let raw = match self {
+            // Question+context: roughly normal around 190 with spread 70.
+            DatasetKind::SquadV11 | DatasetKind::SquadV20 => rng.normal(190.0, 70.0),
+            // RACE passages nearly always hit the truncation limit.
+            DatasetKind::Race => rng.normal(505.0, 30.0),
+            // Log-normal-ish review lengths, median ~230.
+            DatasetKind::Imdb => (rng.normal(5.44, 0.55)).exp(),
+            // Histories: uniform-ish 20..200 with a spike at the cap.
+            DatasetKind::MovieLens1M => {
+                if rng.bernoulli(0.35) {
+                    n as f64
+                } else {
+                    rng.uniform_in(20.0, 200.0)
+                }
+            }
+        };
+        (raw.round() as usize).clamp(16, n)
+    }
+
+    /// Mean real length over many samples (used to sanity-check the
+    /// samplers and by analytic speedup estimates).
+    #[must_use]
+    pub fn mean_real_length(&self, samples: usize, rng: &mut SeededRng) -> f64 {
+        let total: usize = (0..samples).map(|_| self.sample_real_length(rng)).sum();
+        total as f64 / samples as f64
+    }
+}
+
+impl std::fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_respect_bounds() {
+        let mut rng = SeededRng::new(1);
+        for ds in DatasetKind::all() {
+            for _ in 0..200 {
+                let len = ds.sample_real_length(&mut rng);
+                assert!(len >= 16 && len <= ds.model_input_length(), "{ds}: {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn race_saturates_and_squad_does_not() {
+        let mut rng = SeededRng::new(2);
+        let race = DatasetKind::Race.mean_real_length(500, &mut rng);
+        let squad = DatasetKind::SquadV11.mean_real_length(500, &mut rng);
+        assert!(race > 450.0, "RACE mean {race}");
+        assert!(squad < 300.0, "SQuAD mean {squad}");
+        // This is why the paper's GPU-relative speedups are largest on
+        // SQuAD (padding waste) and smallest on RACE.
+        assert!(race > squad + 150.0);
+    }
+
+    #[test]
+    fn imdb_median_near_230() {
+        let mut rng = SeededRng::new(3);
+        let mut lens: Vec<usize> =
+            (0..1001).map(|_| DatasetKind::Imdb.sample_real_length(&mut rng)).collect();
+        lens.sort_unstable();
+        let median = lens[500];
+        assert!((170..=300).contains(&median), "IMDB median {median}");
+    }
+
+    #[test]
+    fn movielens_capped_at_200() {
+        let mut rng = SeededRng::new(4);
+        let mean = DatasetKind::MovieLens1M.mean_real_length(500, &mut rng);
+        assert!((100.0..=190.0).contains(&mean), "ML mean {mean}");
+    }
+
+    #[test]
+    fn metric_names() {
+        assert_eq!(DatasetKind::SquadV11.metric_name(), "F1");
+        assert_eq!(DatasetKind::MovieLens1M.metric_name(), "NDCG@10");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<usize> = {
+            let mut rng = SeededRng::new(9);
+            (0..50).map(|_| DatasetKind::SquadV11.sample_real_length(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = SeededRng::new(9);
+            (0..50).map(|_| DatasetKind::SquadV11.sample_real_length(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,134 @@
+//! The five evaluated models (§V-A), by their published shapes.
+
+use elsa_attention::TransformerConfig;
+
+/// One of the paper's five self-attention-oriented models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Google BERT (large): 24 layers, 16 heads, d_model 1024, FFN 4096.
+    BertLarge,
+    /// Facebook RoBERTa (large): same shape as BERT-large.
+    RobertaLarge,
+    /// Google ALBERT (large): 24 layers (shared weights), 16 heads, 1024/4096.
+    AlbertLarge,
+    /// SASRec, 3-layer sequential recommender (single head, d 64).
+    SasRec,
+    /// BERT4Rec, 3-layer 2-head sequential recommender.
+    Bert4Rec,
+}
+
+impl ModelKind {
+    /// All five models in the paper's presentation order.
+    #[must_use]
+    pub const fn all() -> [ModelKind; 5] {
+        [
+            ModelKind::BertLarge,
+            ModelKind::RobertaLarge,
+            ModelKind::AlbertLarge,
+            ModelKind::SasRec,
+            ModelKind::Bert4Rec,
+        ]
+    }
+
+    /// Display name matching the paper's figures.
+    #[must_use]
+    pub const fn name(&self) -> &'static str {
+        match self {
+            ModelKind::BertLarge => "BERT",
+            ModelKind::RobertaLarge => "RoBERTa",
+            ModelKind::AlbertLarge => "ALBERT",
+            ModelKind::SasRec => "SASRec",
+            ModelKind::Bert4Rec => "BERT4Rec",
+        }
+    }
+
+    /// The published architecture shape. All models use a per-head
+    /// dimension of 64 (§IV-E: "We utilize d = 64, which all our evaluated
+    /// models originally used").
+    #[must_use]
+    pub fn config(&self) -> TransformerConfig {
+        match self {
+            ModelKind::BertLarge | ModelKind::RobertaLarge | ModelKind::AlbertLarge => {
+                TransformerConfig::new(24, 1024, 16, 4096, 512)
+            }
+            ModelKind::SasRec => TransformerConfig::new(3, 64, 1, 256, 200),
+            ModelKind::Bert4Rec => TransformerConfig::new(3, 128, 2, 512, 200),
+        }
+    }
+
+    /// True for the sequential recommendation models (whose accuracy metric
+    /// is NDCG@10 and whose approximation-degree buckets are tighter,
+    /// §V-C).
+    #[must_use]
+    pub const fn is_recommender(&self) -> bool {
+        matches!(self, ModelKind::SasRec | ModelKind::Bert4Rec)
+    }
+
+    /// Attention-pattern peakedness profile for the synthetic generator:
+    /// `(num_relevant, dominance)`. NLP models concentrate attention on a
+    /// handful of tokens (Clark et al., 2019); the recommenders' attention
+    /// over interaction histories is flatter (recency-weighted), which is
+    /// why Fig. 10 shows them needing a larger candidate fraction at equal
+    /// accuracy.
+    #[must_use]
+    pub const fn attention_profile(&self) -> (usize, f32) {
+        match self {
+            ModelKind::BertLarge => (6, 2.0),
+            ModelKind::RobertaLarge => (5, 2.2),
+            ModelKind::AlbertLarge => (8, 1.8),
+            ModelKind::SasRec => (12, 1.2),
+            ModelKind::Bert4Rec => (10, 1.4),
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_have_d_head_64() {
+        for m in ModelKind::all() {
+            assert_eq!(m.config().d_head(), 64, "{m}");
+        }
+    }
+
+    #[test]
+    fn bert_large_has_384_sublayers() {
+        assert_eq!(ModelKind::BertLarge.config().attention_sublayers(), 384);
+    }
+
+    #[test]
+    fn recommenders_flagged() {
+        assert!(ModelKind::SasRec.is_recommender());
+        assert!(ModelKind::Bert4Rec.is_recommender());
+        assert!(!ModelKind::BertLarge.is_recommender());
+    }
+
+    #[test]
+    fn recommender_sequence_cap_is_200() {
+        assert_eq!(ModelKind::SasRec.config().max_seq_len, 200);
+        assert_eq!(ModelKind::Bert4Rec.config().max_seq_len, 200);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = ModelKind::all().iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn nlp_profiles_are_peakier_than_recommenders() {
+        let (_, bert_dom) = ModelKind::BertLarge.attention_profile();
+        let (_, sas_dom) = ModelKind::SasRec.attention_profile();
+        assert!(bert_dom > sas_dom);
+    }
+}

@@ -1,0 +1,212 @@
+//! Generative model of attention inputs with controllable peakedness.
+//!
+//! Trained transformer attention heads concentrate most of each softmax row
+//! on a handful of keys (one dominant token plus a short tail — Clark et
+//! al., *What does BERT look at?*, 2019). The generator plants exactly that
+//! structure: each query is a weighted combination of its `num_relevant`
+//! target keys plus noise, rescaled so the dominant raw score reaches
+//! `score_scale`. With `score_scale ≈ ln(n) + const`, the dominant key holds
+//! most of the softmax mass while the ~n background keys collectively stay
+//! small — the regime in which ELSA's approximation (and real attention
+//! sparsity) operates.
+
+use elsa_attention::exact::AttentionInputs;
+use elsa_linalg::{ops, Matrix, SeededRng};
+
+/// Parameters of the synthetic attention workload generator.
+///
+/// # Examples
+///
+/// ```
+/// use elsa_workloads::AttentionPatternConfig;
+/// use elsa_linalg::SeededRng;
+///
+/// let cfg = AttentionPatternConfig::new(128, 64, 4, 2.0);
+/// let inputs = cfg.generate(&mut SeededRng::new(0));
+/// assert_eq!(inputs.num_keys(), 128);
+/// assert_eq!(inputs.dim(), 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttentionPatternConfig {
+    /// Number of (real) entities `n`.
+    pub n_real: usize,
+    /// Head dimension `d`.
+    pub d: usize,
+    /// Relevant keys planted per query.
+    pub num_relevant: usize,
+    /// Weight ratio of the dominant relevant key to the secondary ones.
+    pub dominance: f32,
+    /// Standard deviation of the additive query noise direction.
+    pub noise: f32,
+    /// Raw attention score of the dominant key (softmax logit).
+    pub score_scale: f32,
+}
+
+impl AttentionPatternConfig {
+    /// Creates a configuration with a `score_scale` calibrated to the
+    /// sequence length (`ln n + 2 + dominance`), which keeps the background
+    /// softmax mass small at any `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_relevant == 0` or `num_relevant > n_real`, or any
+    /// dimension is zero.
+    #[must_use]
+    pub fn new(n_real: usize, d: usize, num_relevant: usize, dominance: f32) -> Self {
+        assert!(n_real > 0 && d > 0, "dimensions must be positive");
+        assert!(
+            (1..=n_real).contains(&num_relevant),
+            "num_relevant must be in 1..=n_real"
+        );
+        Self {
+            n_real,
+            d,
+            num_relevant,
+            dominance,
+            noise: 0.5,
+            score_scale: (n_real as f32).ln() + 2.0 + dominance,
+        }
+    }
+
+    /// Generates one attention invocation (`Q`, `K`, `V` all `n × d`).
+    #[must_use]
+    pub fn generate(&self, rng: &mut SeededRng) -> AttentionInputs {
+        let n = self.n_real;
+        let d = self.d;
+        let keys = Matrix::from_fn(n, d, |_, _| rng.standard_normal() as f32);
+        let values = Matrix::from_fn(n, d, |_, _| rng.standard_normal() as f32);
+        let mut queries = Matrix::zeros(n, d);
+        for i in 0..n {
+            let targets = rng.sample_indices(n, self.num_relevant);
+            let mut direction = vec![0.0f32; d];
+            for (rank, &t) in targets.iter().enumerate() {
+                let w = if rank == 0 { self.dominance } else { 1.0 };
+                ops::axpy(w, keys.row(t), &mut direction);
+            }
+            for v in direction.iter_mut() {
+                *v += self.noise * rng.standard_normal() as f32;
+            }
+            // Rescale so the dominant raw score hits score_scale exactly.
+            let dominant_score = ops::dot(&direction, keys.row(targets[0]));
+            let alpha = if dominant_score.abs() > 1e-9 {
+                f64::from(self.score_scale) / dominant_score
+            } else {
+                1.0
+            };
+            let row = queries.row_mut(i);
+            for (dst, &src) in row.iter_mut().zip(&direction) {
+                *dst = (f64::from(src) * alpha) as f32;
+            }
+        }
+        AttentionInputs::new(queries, keys, values)
+    }
+
+    /// Generates a batch of independent invocations.
+    #[must_use]
+    pub fn generate_batch(&self, count: usize, rng: &mut SeededRng) -> Vec<AttentionInputs> {
+        (0..count).map(|_| self.generate(rng)).collect()
+    }
+
+    /// Measures the fraction of keys whose softmax-normalized score exceeds
+    /// `p/n` — the paper's relevance criterion — averaged over the queries
+    /// of one generated invocation. Used for calibration tests.
+    #[must_use]
+    pub fn relevant_fraction(&self, inputs: &AttentionInputs, p: f64) -> f64 {
+        let scores = elsa_attention::exact::normalized_scores(inputs, 1.0);
+        let n = inputs.num_keys();
+        let cutoff = (p / n as f64) as f32;
+        let mut count = 0usize;
+        for i in 0..scores.rows() {
+            count += scores.row(i).iter().filter(|&&s| s > cutoff).count();
+        }
+        count as f64 / (scores.rows() * n) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elsa_attention::exact;
+
+    #[test]
+    fn shapes_and_determinism() {
+        let cfg = AttentionPatternConfig::new(64, 32, 3, 2.0);
+        let a = cfg.generate(&mut SeededRng::new(5));
+        let b = cfg.generate(&mut SeededRng::new(5));
+        assert_eq!(a, b);
+        assert_eq!(a.num_keys(), 64);
+        assert_eq!(a.dim(), 32);
+    }
+
+    #[test]
+    fn dominant_score_is_calibrated() {
+        let cfg = AttentionPatternConfig::new(128, 64, 4, 2.0);
+        let inputs = cfg.generate(&mut SeededRng::new(6));
+        let scores = exact::attention_scores(&inputs, 1.0);
+        // The planted dominant key scores exactly score_scale, so the row
+        // max is at least that; occasionally a secondary key with a lucky
+        // cross-correlation edges slightly higher.
+        for i in 0..inputs.num_queries() {
+            let max = scores.row(i).iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            assert!(
+                max >= cfg.score_scale - 1e-3 && max < cfg.score_scale + 8.0,
+                "query {i} max score {max} vs target {}",
+                cfg.score_scale
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_mass_is_concentrated() {
+        let cfg = AttentionPatternConfig::new(256, 64, 5, 2.0);
+        let inputs = cfg.generate(&mut SeededRng::new(7));
+        let scores = exact::normalized_scores(&inputs, 1.0);
+        // Top-8 keys per row should hold the large majority of the mass.
+        let mut captured = 0.0f64;
+        for i in 0..inputs.num_queries() {
+            let mut row: Vec<f32> = scores.row(i).to_vec();
+            row.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            captured += row[..8].iter().map(|&x| f64::from(x)).sum::<f64>();
+        }
+        captured /= inputs.num_queries() as f64;
+        assert!(captured > 0.6, "top-8 softmax mass {captured}");
+    }
+
+    #[test]
+    fn relevant_fraction_in_sparse_regime() {
+        // The p=1 relevance bar should mark only a few percent of keys —
+        // softmax rows are genuinely sparse at n=512.
+        let cfg = AttentionPatternConfig::new(512, 64, 6, 2.0);
+        let inputs = cfg.generate(&mut SeededRng::new(8));
+        let frac = cfg.relevant_fraction(&inputs, 1.0);
+        assert!((0.002..=0.2).contains(&frac), "relevant fraction {frac}");
+    }
+
+    #[test]
+    fn larger_p_marks_fewer_keys_relevant() {
+        let cfg = AttentionPatternConfig::new(256, 64, 6, 2.0);
+        let inputs = cfg.generate(&mut SeededRng::new(9));
+        let f1 = cfg.relevant_fraction(&inputs, 0.5);
+        let f2 = cfg.relevant_fraction(&inputs, 4.0);
+        assert!(f1 >= f2);
+    }
+
+    #[test]
+    fn flatter_profile_spreads_mass() {
+        let peaky = AttentionPatternConfig::new(128, 64, 3, 2.5);
+        let flat = AttentionPatternConfig {
+            score_scale: 4.0,
+            ..AttentionPatternConfig::new(128, 64, 12, 1.1)
+        };
+        let mut rng = SeededRng::new(10);
+        let pi = peaky.generate(&mut rng);
+        let fi = flat.generate(&mut rng);
+        assert!(flat.relevant_fraction(&fi, 1.0) > peaky.relevant_fraction(&pi, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "num_relevant")]
+    fn rejects_zero_relevant() {
+        let _ = AttentionPatternConfig::new(10, 4, 0, 1.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Proxy accuracy metrics (§V-B methodology, adapted).
+//!
+//! The paper measures *end-to-end model metrics* (F1 on SQuAD, accuracy on
+//! RACE/IMDB, NDCG@10 on MovieLens) with and without approximation and
+//! reports the loss. Without trained checkpoints we measure the same
+//! quantity one level down: a fixed downstream readout (a linear probe for
+//! classification tasks, a ranking head for recommendation) is applied to
+//! the **exact** attention output to define labels, and the approximate
+//! pipeline is scored against those labels. Exact attention scores 100% by
+//! construction (matching the paper's "baseline" row), and every deviation
+//! is attributable to the approximation — the same monotone-in-`p` loss
+//! curve as Fig. 10.
+
+use elsa_linalg::{ops, Matrix, SeededRng};
+
+/// A frozen linear readout over attention outputs: `C` class vectors of
+/// dimension `d`; the predicted class of a row is the argmax inner product.
+///
+/// # Examples
+///
+/// ```
+/// use elsa_workloads::tasks::ClassificationProbe;
+/// use elsa_linalg::{Matrix, SeededRng};
+///
+/// let probe = ClassificationProbe::new(4, 8, &mut SeededRng::new(0));
+/// let out = Matrix::from_fn(10, 8, |r, c| ((r + c) % 3) as f32);
+/// let labels = probe.predict(&out);
+/// assert_eq!(labels.len(), 10);
+/// // Agreement with itself is perfect.
+/// assert_eq!(probe.agreement(&out, &out), 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClassificationProbe {
+    weights: Matrix,
+}
+
+impl ClassificationProbe {
+    /// Draws `num_classes` random unit class vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_classes < 2` or `d == 0`.
+    #[must_use]
+    pub fn new(num_classes: usize, d: usize, rng: &mut SeededRng) -> Self {
+        assert!(num_classes >= 2, "need at least two classes");
+        assert!(d > 0);
+        let mut weights = Matrix::zeros(num_classes, d);
+        for c in 0..num_classes {
+            let u = rng.unit_vector(d);
+            weights.row_mut(c).copy_from_slice(&u);
+        }
+        Self { weights }
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Predicted class per output row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output.cols()` differs from the probe dimension.
+    #[must_use]
+    pub fn predict(&self, output: &Matrix) -> Vec<usize> {
+        assert_eq!(output.cols(), self.weights.cols(), "probe dimension mismatch");
+        (0..output.rows())
+            .map(|i| {
+                let logits: Vec<f32> = (0..self.weights.rows())
+                    .map(|c| ops::dot(output.row(i), self.weights.row(c)) as f32)
+                    .collect();
+                ops::argmax(&logits).expect("at least two classes")
+            })
+            .collect()
+    }
+
+    /// Fraction of rows where the two outputs produce the same predicted
+    /// class — the proxy "accuracy" with `reference` as ground truth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outputs have different shapes.
+    #[must_use]
+    pub fn agreement(&self, reference: &Matrix, candidate: &Matrix) -> f64 {
+        assert_eq!(reference.rows(), candidate.rows(), "row count mismatch");
+        let a = self.predict(reference);
+        let b = self.predict(candidate);
+        let same = a.iter().zip(&b).filter(|(x, y)| x == y).count();
+        same as f64 / a.len().max(1) as f64
+    }
+}
+
+/// NDCG@k of a candidate ranking against the reference ranking's top item.
+///
+/// Items are scored by inner product with the output row; the reference
+/// output defines the single relevant item (its top-scored one), and the
+/// candidate output's ranking of that item determines the gain —
+/// `1/log2(1+rank)` if it ranks within `k`, else 0. This is the standard
+/// leave-one-out NDCG@10 protocol of SASRec/BERT4Rec, with the trained
+/// model's own choice as the relevant item.
+///
+/// # Panics
+///
+/// Panics if shapes mismatch or `k == 0`.
+#[must_use]
+pub fn ndcg_at_k(reference: &Matrix, candidate: &Matrix, items: &Matrix, k: usize) -> f64 {
+    assert!(k > 0, "k must be positive");
+    assert_eq!(reference.rows(), candidate.rows(), "row count mismatch");
+    assert_eq!(reference.cols(), items.cols(), "item dimension mismatch");
+    let mut total = 0.0f64;
+    for i in 0..reference.rows() {
+        let ref_scores: Vec<f32> = (0..items.rows())
+            .map(|j| ops::dot(reference.row(i), items.row(j)) as f32)
+            .collect();
+        let relevant = ops::argmax(&ref_scores).expect("nonempty items");
+        let cand_scores: Vec<f32> = (0..items.rows())
+            .map(|j| ops::dot(candidate.row(i), items.row(j)) as f32)
+            .collect();
+        // Rank of the relevant item in the candidate ordering (1-based).
+        let relevant_score = cand_scores[relevant];
+        let rank = 1 + cand_scores.iter().filter(|&&s| s > relevant_score).count();
+        if rank <= k {
+            total += 1.0 / ((rank as f64) + 1.0).log2();
+        }
+    }
+    total / reference.rows().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_self_agreement_is_one() {
+        let mut rng = SeededRng::new(1);
+        let probe = ClassificationProbe::new(8, 16, &mut rng);
+        let out = Matrix::from_fn(20, 16, |_, _| rng.standard_normal() as f32);
+        assert_eq!(probe.agreement(&out, &out), 1.0);
+    }
+
+    #[test]
+    fn probe_detects_perturbation_monotonically() {
+        let mut rng = SeededRng::new(2);
+        let probe = ClassificationProbe::new(8, 16, &mut rng);
+        let out = Matrix::from_fn(200, 16, |_, _| rng.standard_normal() as f32);
+        let perturb = |eps: f32, rng: &mut SeededRng| {
+            Matrix::from_fn(200, 16, |r, c| out[(r, c)] + eps * rng.standard_normal() as f32)
+        };
+        let small = probe.agreement(&out, &perturb(0.05, &mut rng));
+        let large = probe.agreement(&out, &perturb(1.0, &mut rng));
+        assert!(small > large, "small-noise {small} <= large-noise {large}");
+        assert!(small > 0.9);
+    }
+
+    #[test]
+    fn ndcg_self_is_one() {
+        let mut rng = SeededRng::new(3);
+        let out = Matrix::from_fn(10, 8, |_, _| rng.standard_normal() as f32);
+        let items = Matrix::from_fn(50, 8, |_, _| rng.standard_normal() as f32);
+        assert!((ndcg_at_k(&out, &out, &items, 10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_degrades_with_noise() {
+        let mut rng = SeededRng::new(4);
+        let out = Matrix::from_fn(100, 8, |_, _| rng.standard_normal() as f32);
+        let items = Matrix::from_fn(100, 8, |_, _| rng.standard_normal() as f32);
+        let noisy = Matrix::from_fn(100, 8, |r, c| out[(r, c)] + 0.8 * rng.standard_normal() as f32);
+        let n = ndcg_at_k(&out, &noisy, &items, 10);
+        assert!(n < 1.0);
+        assert!(n > 0.1, "ndcg {n}");
+    }
+
+    #[test]
+    fn ndcg_zero_when_relevant_buried() {
+        // Candidate that inverts the reference scores pushes the relevant
+        // item to the bottom.
+        let reference = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let candidate = Matrix::from_rows(&[&[-1.0, 0.0]]);
+        let items = Matrix::from_fn(100, 2, |j, c| if c == 0 { j as f32 } else { 1.0 });
+        assert_eq!(ndcg_at_k(&reference, &candidate, &items, 10), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two classes")]
+    fn probe_rejects_single_class() {
+        let _ = ClassificationProbe::new(1, 4, &mut SeededRng::new(0));
+    }
+}

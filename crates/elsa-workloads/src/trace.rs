@@ -1,0 +1,252 @@
+//! Serializable workload traces.
+//!
+//! A trace pins down *exactly* which invocations an experiment ran — the
+//! sampled real lengths, the per-invocation generator seeds and the pattern
+//! profile — in a plain-text format that can be stored next to results and
+//! replayed later (the role the authors' captured PyTorch inputs play in
+//! the original evaluation). Replaying a trace regenerates bit-identical
+//! `AttentionInputs`.
+//!
+//! Format: one header line `elsa-trace v1 d=<d>`, then one line per entry:
+//! `n=<n> relevant=<r> dominance=<f> noise=<f> score_scale=<f> seed=<u64>`.
+
+use std::fmt::Write as _;
+
+use elsa_attention::exact::AttentionInputs;
+use elsa_linalg::SeededRng;
+
+use crate::synthetic::AttentionPatternConfig;
+use crate::workload::Workload;
+
+/// One recorded invocation: the generator configuration plus its seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEntry {
+    /// The synthetic pattern parameters.
+    pub pattern: AttentionPatternConfig,
+    /// The RNG seed that generates this invocation.
+    pub seed: u64,
+}
+
+impl TraceEntry {
+    /// Regenerates the invocation.
+    #[must_use]
+    pub fn materialize(&self) -> AttentionInputs {
+        self.pattern.generate(&mut SeededRng::new(self.seed))
+    }
+}
+
+/// A replayable sequence of attention invocations.
+///
+/// # Examples
+///
+/// ```
+/// use elsa_workloads::trace::WorkloadTrace;
+/// use elsa_workloads::{DatasetKind, ModelKind, Workload};
+/// use elsa_linalg::SeededRng;
+///
+/// let w = Workload { model: ModelKind::BertLarge, dataset: DatasetKind::SquadV11 };
+/// let trace = WorkloadTrace::record(&w, 3, &mut SeededRng::new(1));
+/// let text = trace.to_text();
+/// let back = WorkloadTrace::from_text(&text).unwrap();
+/// assert_eq!(trace, back);
+/// assert_eq!(trace.materialize()[0], back.materialize()[0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadTrace {
+    /// Head dimension shared by all entries.
+    pub d: usize,
+    /// The recorded invocations.
+    pub entries: Vec<TraceEntry>,
+}
+
+/// Error parsing a trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending line (0 = header).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+impl WorkloadTrace {
+    /// Records `count` invocations of a workload: samples the real lengths
+    /// and assigns each entry an independent seed.
+    #[must_use]
+    pub fn record(workload: &Workload, count: usize, rng: &mut SeededRng) -> Self {
+        let entries = (0..count)
+            .map(|i| {
+                let n_real = workload
+                    .dataset
+                    .sample_real_length(rng)
+                    .min(workload.padded_length());
+                TraceEntry {
+                    pattern: workload.pattern_config(n_real),
+                    seed: rng.fork(i as u64).uniform().to_bits(),
+                }
+            })
+            .collect();
+        Self { d: 64, entries }
+    }
+
+    /// Regenerates every invocation.
+    #[must_use]
+    pub fn materialize(&self) -> Vec<AttentionInputs> {
+        self.entries.iter().map(TraceEntry::materialize).collect()
+    }
+
+    /// Serializes to the plain-text format.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = format!("elsa-trace v1 d={}\n", self.d);
+        for e in &self.entries {
+            let p = &e.pattern;
+            writeln!(
+                out,
+                "n={} relevant={} dominance={} noise={} score_scale={} seed={}",
+                p.n_real, p.num_relevant, p.dominance, p.noise, p.score_scale, e.seed
+            )
+            .expect("writing to String cannot fail");
+        }
+        out
+    }
+
+    /// Parses the plain-text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTraceError`] on a malformed header, unknown fields,
+    /// or unparsable values.
+    pub fn from_text(text: &str) -> Result<Self, ParseTraceError> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or(ParseTraceError {
+            line: 0,
+            message: "empty trace".into(),
+        })?;
+        let d = header
+            .strip_prefix("elsa-trace v1 d=")
+            .and_then(|v| v.parse::<usize>().ok())
+            .ok_or(ParseTraceError { line: 0, message: format!("bad header {header:?}") })?;
+        let mut entries = Vec::new();
+        for (idx, line) in lines.enumerate() {
+            let line_no = idx + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut n = None;
+            let mut relevant = None;
+            let mut dominance = None;
+            let mut noise = None;
+            let mut score_scale = None;
+            let mut seed = None;
+            for field in line.split_whitespace() {
+                let (key, value) = field.split_once('=').ok_or(ParseTraceError {
+                    line: line_no,
+                    message: format!("field {field:?} missing '='"),
+                })?;
+                let bad = |msg: &str| ParseTraceError { line: line_no, message: msg.into() };
+                match key {
+                    "n" => n = Some(value.parse().map_err(|_| bad("bad n"))?),
+                    "relevant" => relevant = Some(value.parse().map_err(|_| bad("bad relevant"))?),
+                    "dominance" => dominance = Some(value.parse().map_err(|_| bad("bad dominance"))?),
+                    "noise" => noise = Some(value.parse().map_err(|_| bad("bad noise"))?),
+                    "score_scale" => {
+                        score_scale = Some(value.parse().map_err(|_| bad("bad score_scale"))?);
+                    }
+                    "seed" => seed = Some(value.parse().map_err(|_| bad("bad seed"))?),
+                    other => {
+                        return Err(ParseTraceError {
+                            line: line_no,
+                            message: format!("unknown field {other:?}"),
+                        })
+                    }
+                }
+            }
+            let missing = |msg: &str| ParseTraceError { line: line_no, message: msg.into() };
+            let pattern = AttentionPatternConfig {
+                n_real: n.ok_or_else(|| missing("missing n"))?,
+                d,
+                num_relevant: relevant.ok_or_else(|| missing("missing relevant"))?,
+                dominance: dominance.ok_or_else(|| missing("missing dominance"))?,
+                noise: noise.ok_or_else(|| missing("missing noise"))?,
+                score_scale: score_scale.ok_or_else(|| missing("missing score_scale"))?,
+            };
+            entries.push(TraceEntry { pattern, seed: seed.ok_or_else(|| missing("missing seed"))? });
+        }
+        Ok(Self { d, entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DatasetKind, ModelKind};
+
+    fn workload() -> Workload {
+        Workload { model: ModelKind::BertLarge, dataset: DatasetKind::SquadV11 }
+    }
+
+    #[test]
+    fn record_and_materialize() {
+        let mut rng = SeededRng::new(1);
+        let trace = WorkloadTrace::record(&workload(), 4, &mut rng);
+        assert_eq!(trace.entries.len(), 4);
+        let inputs = trace.materialize();
+        assert_eq!(inputs.len(), 4);
+        for (inv, entry) in inputs.iter().zip(&trace.entries) {
+            assert_eq!(inv.num_keys(), entry.pattern.n_real);
+        }
+    }
+
+    #[test]
+    fn text_round_trip_is_lossless() {
+        let mut rng = SeededRng::new(2);
+        let trace = WorkloadTrace::record(&workload(), 5, &mut rng);
+        let text = trace.to_text();
+        let back = WorkloadTrace::from_text(&text).expect("parses");
+        assert_eq!(trace, back);
+        // And materialization is bit-identical.
+        assert_eq!(trace.materialize(), back.materialize());
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let mut rng = SeededRng::new(3);
+        let trace = WorkloadTrace::record(&workload(), 2, &mut rng);
+        assert_eq!(trace.materialize(), trace.materialize());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(WorkloadTrace::from_text("").is_err());
+        assert!(WorkloadTrace::from_text("not a trace\n").is_err());
+        let err = WorkloadTrace::from_text("elsa-trace v1 d=64\nn=10 bogus=3\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("unknown field"));
+        let err = WorkloadTrace::from_text("elsa-trace v1 d=64\nn=banana\n").unwrap_err();
+        assert!(err.message.contains("bad n"));
+        let err = WorkloadTrace::from_text("elsa-trace v1 d=64\nn=10\n").unwrap_err();
+        assert!(err.message.contains("missing"));
+    }
+
+    #[test]
+    fn blank_lines_tolerated() {
+        let mut rng = SeededRng::new(4);
+        let trace = WorkloadTrace::record(&workload(), 1, &mut rng);
+        let text = format!("{}\n\n", trace.to_text());
+        assert_eq!(WorkloadTrace::from_text(&text).expect("parses"), trace);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let err = WorkloadTrace::from_text("").unwrap_err();
+        assert!(!err.to_string().is_empty());
+    }
+}

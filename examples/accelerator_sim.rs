@@ -1,0 +1,70 @@
+//! Drive the cycle-level hardware simulator directly: run one invocation on
+//! the paper's accelerator configuration and inspect cycles, pipeline
+//! bottlenecks, and the per-module energy breakdown.
+//!
+//! Run: `cargo run --release --example accelerator_sim`
+
+use elsa::algorithm::attention::{ElsaAttention, ElsaParams};
+use elsa::linalg::SeededRng;
+use elsa::sim::{AcceleratorConfig, ElsaAccelerator};
+use elsa::workloads::AttentionPatternConfig;
+
+fn main() {
+    let config = AcceleratorConfig::paper();
+    println!("ELSA accelerator, paper configuration:");
+    println!(
+        "  n_max={} d={} P_a={} P_c={} m_h={} m_o={} @ {} GHz",
+        config.n_max, config.d, config.p_a, config.p_c, config.m_h, config.m_o, config.clock_ghz
+    );
+    println!(
+        "  {} multipliers, {:.3} TOPS peak, key-hash SRAM {} B, norm SRAM {} B\n",
+        config.total_multipliers(),
+        config.peak_ops_per_second() / 1e12,
+        config.key_hash_bytes(),
+        config.key_norm_bytes()
+    );
+
+    let n = 512;
+    let mut rng = SeededRng::new(3);
+    let pattern = AttentionPatternConfig::new(n, 64, 6, 2.0);
+    let train = pattern.generate(&mut rng);
+    let test = pattern.generate(&mut rng);
+    let params = ElsaParams::for_dims(64, 64, &mut rng);
+    let operator = ElsaAttention::learn(params, &[train], 1.0);
+    let accel = ElsaAccelerator::new(config, operator);
+
+    for (label, report) in
+        [("ELSA-base (no approximation)", accel.run_base(&test)), ("ELSA p=1", accel.run(&test))]
+    {
+        println!("== {label} ==");
+        println!(
+            "  cycles: preprocessing {} + execution {} + drain {} = {}",
+            report.cycles.preprocessing,
+            report.cycles.execution,
+            report.cycles.drain,
+            report.cycles.total()
+        );
+        println!(
+            "  latency {:.1} us, candidates {:.1}%, preprocessing share {:.1}%",
+            report.latency_s(&config) * 1e6,
+            report.stats.candidate_fraction() * 100.0,
+            report.cycles.preprocessing_fraction() * 100.0
+        );
+        let names = ["hash", "selection scan", "attention", "division"];
+        let bn: Vec<String> = report
+            .cycles
+            .bottleneck_counts
+            .iter()
+            .zip(names)
+            .map(|(c, n)| format!("{n}: {c}"))
+            .collect();
+        println!("  per-query bottlenecks: {}", bn.join(", "));
+        println!("  energy {:.2} uJ, of which:", report.energy.total_j() * 1e6);
+        let mut mods = report.energy.per_module.clone();
+        mods.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite energies"));
+        for (name, j) in mods.iter().take(4) {
+            println!("    {name:<22} {:.2} uJ", j * 1e6);
+        }
+        println!();
+    }
+}

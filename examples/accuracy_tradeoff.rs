@@ -1,0 +1,45 @@
+//! Explore the single user-facing hyperparameter: the degree of
+//! approximation `p` (§III-E). Sweeps `p` on one workload and prints the
+//! accuracy/candidate trade-off plus the operating points the paper's
+//! conservative / moderate / aggressive configurations would pick.
+//!
+//! Run: `cargo run --release --example accuracy_tradeoff`
+
+use elsa::workloads::workload::{evaluate_workload, P_GRID};
+use elsa::workloads::{DatasetKind, ModelKind, Workload};
+use elsa_linalg::SeededRng;
+
+fn main() {
+    let workload = Workload { model: ModelKind::BertLarge, dataset: DatasetKind::SquadV11 };
+    let mut rng = SeededRng::new(21);
+    let train = workload.generate_batch(2, &mut rng);
+    let test = workload.generate_batch(4, &mut rng);
+    println!("{} — accuracy vs approximation degree\n", workload.name());
+    println!("{:>5}  {:>11}  {:>10}  {:>15}", "p", "metric (%)", "loss (pp)", "candidates (%)");
+    let mut evals = Vec::new();
+    for &p in &P_GRID {
+        let eval = evaluate_workload(&workload, p, &train, &test, 99);
+        println!(
+            "{:>5.2}  {:>11.2}  {:>10.2}  {:>15.1}",
+            p,
+            eval.metric * 100.0,
+            eval.loss_percent(),
+            eval.stats.candidate_fraction() * 100.0
+        );
+        evals.push(eval);
+    }
+    println!();
+    for (label, budget) in [("conservative", 1.0), ("moderate", 2.5), ("aggressive", 5.0)] {
+        let pick = evals.iter().rfind(|e| e.loss_percent() <= budget);
+        match pick {
+            Some(e) => println!(
+                "ELSA-{label}: p = {} (loss {:.2} pp <= {budget} pp budget, {:.1}% candidates)",
+                e.p,
+                e.loss_percent(),
+                e.stats.candidate_fraction() * 100.0
+            ),
+            None => println!("ELSA-{label}: no grid point fits the {budget} pp budget"),
+        }
+    }
+    println!("\nset p = 0 to fall back to exact attention (the paper's escape hatch)");
+}

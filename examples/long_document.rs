@@ -1,0 +1,49 @@
+//! The paper's motivating scenario (§I): today's models cap self-attention
+//! at 512 tokens because its cost grows quadratically; cheap attention lets
+//! models see relations between distant tokens. This example scales the
+//! sequence length from 128 to 2048 and compares the modeled GPU cost with
+//! the simulated ELSA accelerator.
+//!
+//! Run: `cargo run --release --example long_document`
+
+use elsa::algorithm::attention::{ElsaAttention, ElsaParams};
+use elsa::baselines::{AttentionDevice, GpuModel};
+use elsa::linalg::SeededRng;
+use elsa::sim::{AcceleratorConfig, ElsaAccelerator};
+use elsa::workloads::AttentionPatternConfig;
+
+fn main() {
+    let d = 64;
+    let gpu = GpuModel::v100();
+    println!("self-attention cost vs sequence length (one head, d = 64)\n");
+    println!(
+        "{:>6}  {:>12}  {:>14}  {:>14}  {:>9}  {:>12}",
+        "n", "GPU (us)", "ELSA-base (us)", "ELSA p=1 (us)", "speedup", "candidates %"
+    );
+    for n in [128usize, 256, 512, 1024, 2048] {
+        let mut rng = SeededRng::new(100 + n as u64);
+        let pattern = AttentionPatternConfig::new(n, d, 6, 2.0);
+        let train = pattern.generate(&mut rng);
+        let test = pattern.generate(&mut rng);
+        let params = ElsaParams::for_dims(d, d, &mut rng);
+        let operator = ElsaAttention::learn(params, &[train], 1.0);
+        let config = AcceleratorConfig { n_max: n.max(512), ..AcceleratorConfig::paper() };
+        let accel = ElsaAccelerator::new(config, operator);
+        let base = accel.run_base(&test);
+        let approx = accel.run(&test);
+        let gpu_t = gpu.attention_latency_s(n, n, d);
+        let elsa_t = approx.cycles.seconds(&config);
+        println!(
+            "{:>6}  {:>12.1}  {:>14.1}  {:>14.1}  {:>8.1}x  {:>11.1}%",
+            n,
+            gpu_t * 1e6,
+            base.cycles.seconds(&config) * 1e6,
+            elsa_t * 1e6,
+            gpu_t / elsa_t,
+            approx.stats.candidate_fraction() * 100.0,
+        );
+    }
+    println!(
+        "\nthe approximation scales the quadratic term down by the candidate\nfraction (and the full 12-accelerator set adds another 12x of batch\nthroughput) — longer contexts become affordable, the paper's §I argument"
+    );
+}

@@ -1,0 +1,56 @@
+//! Quickstart: approximate a self-attention invocation with ELSA.
+//!
+//! Builds a synthetic attention workload, learns the layer-specific
+//! candidate-selection threshold from "training" data (§III-E), then runs
+//! the approximate operator and compares it against exact attention.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use elsa::algorithm::attention::{ElsaAttention, ElsaParams};
+use elsa::attention::exact;
+use elsa::linalg::SeededRng;
+use elsa::workloads::AttentionPatternConfig;
+
+fn main() {
+    let n = 512;
+    let d = 64;
+    let mut rng = SeededRng::new(42);
+
+    // A synthetic workload with BERT-like peaked attention patterns.
+    let pattern = AttentionPatternConfig::new(n, d, 6, 2.0);
+    let train = pattern.generate_batch(2, &mut rng);
+    let test = pattern.generate(&mut rng);
+
+    // ELSA parameters: 64-bit hashes via the 3-way Kronecker projection and
+    // the paper's theta_bias = 0.127.
+    let params = ElsaParams::for_dims(d, d, &mut rng);
+    println!(
+        "hash: k = {} bits, {} multiplies/vector (dense would be {})",
+        params.hasher().k(),
+        params.hasher().multiplication_count(),
+        d * d
+    );
+
+    // Learn the threshold at degree-of-approximation p = 1 (conservative).
+    let operator = ElsaAttention::learn(params, &train, 1.0);
+    println!("learned threshold t = {:.4}", operator.threshold());
+
+    // Run approximate and exact attention on unseen data.
+    let (approx, stats) = operator.forward(&test);
+    let exact_out = exact::attention(&test);
+
+    println!(
+        "candidates: {:.1}% of {} query-key pairs ({:.1} keys/query on average)",
+        stats.candidate_fraction() * 100.0,
+        stats.total_pairs,
+        stats.avg_candidates_per_query()
+    );
+    println!(
+        "output error vs exact: {:.4} (relative Frobenius)",
+        exact_out.relative_frobenius_error(&approx)
+    );
+    println!(
+        "arithmetic avoided in the attention computation: {:.1}%",
+        (1.0 - stats.candidate_fraction()) * 100.0
+    );
+}

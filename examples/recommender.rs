@@ -1,0 +1,47 @@
+//! Sequential recommendation with approximate attention: a SASRec-shaped
+//! workload on MovieLens-1M-like interaction histories, scored with NDCG@10
+//! against the exact model's ranking (§V-A/§V-B).
+//!
+//! Run: `cargo run --release --example recommender`
+
+use elsa::algorithm::attention::{ElsaAttention, ElsaParams};
+use elsa::attention::exact;
+use elsa::linalg::SeededRng;
+use elsa::workloads::tasks;
+use elsa::workloads::{DatasetKind, ModelKind, Workload};
+
+fn main() {
+    let workload = Workload { model: ModelKind::SasRec, dataset: DatasetKind::MovieLens1M };
+    let mut rng = SeededRng::new(7);
+    let train = workload.generate_batch(3, &mut rng);
+    let test = workload.generate_batch(5, &mut rng);
+    println!("{} — NDCG@10 of approximate vs exact ranking\n", workload.name());
+    println!(
+        "{:>5}  {:>9}  {:>13}  {:>15}",
+        "p", "NDCG@10", "loss (pp)", "candidates (%)"
+    );
+    for p in [0.5, 1.0, 2.0, 4.0] {
+        let mut op_rng = SeededRng::new(11);
+        let params = ElsaParams::for_dims(64, 64, &mut op_rng);
+        let operator = ElsaAttention::learn(params, &train, p);
+        let mut ndcg = 0.0;
+        let mut cand = 0.0;
+        for inputs in &test {
+            let exact_out = exact::attention(inputs);
+            let (approx_out, stats) = operator.forward(inputs);
+            ndcg += tasks::ndcg_at_k(&exact_out, &approx_out, inputs.value(), 10);
+            cand += stats.candidate_fraction();
+        }
+        let count = test.len() as f64;
+        println!(
+            "{:>5.1}  {:>9.4}  {:>13.2}  {:>15.1}",
+            p,
+            ndcg / count,
+            (1.0 - ndcg / count) * 100.0,
+            cand / count * 100.0
+        );
+    }
+    println!(
+        "\nuser histories are flatter than language attention (recency-weighted),\nso the recommenders need a larger candidate fraction at equal loss —\nthe same pattern as the paper's Fig. 10 right-hand panels"
+    );
+}

@@ -1,0 +1,114 @@
+//! End-to-end integration tests spanning every crate: workload generation →
+//! threshold learning → approximate attention → hardware simulation.
+
+use elsa::algorithm::attention::{ElsaAttention, ElsaParams};
+use elsa::attention::exact;
+use elsa::linalg::SeededRng;
+use elsa::sim::functional::QuantizedElsaAttention;
+use elsa::sim::{AcceleratorConfig, ElsaAccelerator};
+use elsa::workloads::{AttentionPatternConfig, DatasetKind, ModelKind, Workload};
+
+fn operator_for(train: &[elsa::attention::AttentionInputs], p: f64, seed: u64) -> ElsaAttention {
+    let mut rng = SeededRng::new(seed);
+    ElsaAttention::learn(ElsaParams::for_dims(64, 64, &mut rng), train, p)
+}
+
+#[test]
+fn full_pipeline_on_bert_squad_workload() {
+    let workload = Workload { model: ModelKind::BertLarge, dataset: DatasetKind::SquadV11 };
+    let mut rng = SeededRng::new(1);
+    let train = workload.generate_batch(2, &mut rng);
+    let test = workload.generate_invocation(&mut rng);
+    let operator = operator_for(&train, 1.0, 2);
+    let config = AcceleratorConfig::paper();
+    let accel = ElsaAccelerator::new(config, operator);
+
+    let base = accel.run_base(&test);
+    let approx = accel.run(&test);
+
+    // Approximation must be faster, cheaper, and close in output.
+    assert!(approx.cycles.total() < base.cycles.total());
+    assert!(approx.energy.total_j() < base.energy.total_j());
+    let rel = base.output.relative_frobenius_error(&approx.output);
+    assert!(rel < 0.35, "output error {rel}");
+    // Base equals the textbook operator.
+    let exact_out = exact::attention(&test);
+    assert!(base.output.max_abs_diff(&exact_out) < 1e-4);
+}
+
+#[test]
+fn p_zero_is_bit_equivalent_to_exact() {
+    let cfg = AttentionPatternConfig::new(96, 64, 4, 2.0);
+    let mut rng = SeededRng::new(3);
+    let inputs = cfg.generate(&mut rng);
+    let mut rng2 = SeededRng::new(4);
+    let operator = ElsaAttention::exact_fallback(ElsaParams::for_dims(64, 64, &mut rng2));
+    let (out, stats) = operator.forward(&inputs);
+    assert_eq!(stats.selected_pairs, 96 * 96);
+    assert!(out.max_abs_diff(&exact::attention(&inputs)) < 1e-4);
+}
+
+#[test]
+fn increasing_p_never_increases_candidates() {
+    let cfg = AttentionPatternConfig::new(128, 64, 5, 2.0);
+    let mut rng = SeededRng::new(5);
+    let train = cfg.generate_batch(2, &mut rng);
+    let test = cfg.generate(&mut rng);
+    let mut last = f64::INFINITY;
+    for p in [0.5, 1.0, 2.0, 4.0, 8.0] {
+        let operator = operator_for(&train, p, 6);
+        let (_, stats) = operator.forward(&test);
+        let frac = stats.candidate_fraction();
+        assert!(frac <= last + 1e-9, "candidates grew from {last} to {frac} at p={p}");
+        last = frac;
+    }
+}
+
+#[test]
+fn quantized_datapath_consistent_with_f32_operator() {
+    let cfg = AttentionPatternConfig::new(96, 64, 4, 2.0);
+    let mut rng = SeededRng::new(7);
+    let train = cfg.generate_batch(2, &mut rng);
+    let test = cfg.generate(&mut rng);
+    let operator = operator_for(&train, 1.0, 8);
+    let quant = QuantizedElsaAttention::from_reference(&operator);
+    let (f32_out, f32_stats) = operator.forward(&test);
+    let (q_out, q_stats) = quant.forward(&test);
+    assert!(
+        (f32_stats.candidate_fraction() - q_stats.candidate_fraction()).abs() < 0.12,
+        "selection diverged"
+    );
+    let rel = f32_out.relative_frobenius_error(&q_out);
+    assert!(rel < 0.4, "quantized output error {rel}");
+}
+
+#[test]
+fn hardware_runs_any_workload_up_to_nmax() {
+    let config = AcceleratorConfig::paper();
+    for workload in Workload::all() {
+        let mut rng = SeededRng::new(9);
+        let inputs = workload.generate_invocation(&mut rng);
+        let operator = operator_for(std::slice::from_ref(&inputs), 1.0, 10);
+        let accel = ElsaAccelerator::new(config, operator);
+        let report = accel.run(&inputs);
+        assert!(report.cycles.total() > 0, "{}", workload.name());
+        assert!(report.output.as_slice().iter().all(|v| v.is_finite()));
+    }
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let workload = Workload { model: ModelKind::SasRec, dataset: DatasetKind::MovieLens1M };
+    let run = || {
+        let mut rng = SeededRng::new(11);
+        let train = workload.generate_batch(1, &mut rng);
+        let test = workload.generate_invocation(&mut rng);
+        let operator = operator_for(&train, 2.0, 12);
+        let (out, stats) = operator.forward(&test);
+        (out, stats.selected_pairs)
+    };
+    let (a_out, a_sel) = run();
+    let (b_out, b_sel) = run();
+    assert_eq!(a_sel, b_sel);
+    assert_eq!(a_out, b_out);
+}

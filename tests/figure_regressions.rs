@@ -1,0 +1,98 @@
+//! Regression guards for the figure-level behaviours: small, fast versions
+//! of the experiment binaries whose *qualitative* outcomes must never
+//! silently drift (the quantitative outputs live in `results/`).
+
+use elsa::baselines::{A3Model, AttentionDevice, GpuModel, IdealAccelerator};
+use elsa::linalg::SeededRng;
+use elsa::sim::cycle;
+use elsa::sim::AcceleratorConfig;
+use elsa::workloads::workload::evaluate_workload;
+use elsa::workloads::{DatasetKind, ModelKind, Workload};
+
+#[test]
+fn fig10_band_bert_squad() {
+    // Conservative p keeps the proxy metric high with a minority of
+    // candidates; aggressive p trades metric for fewer candidates.
+    let w = Workload { model: ModelKind::BertLarge, dataset: DatasetKind::SquadV11 };
+    let cfg = w.pattern_config(128);
+    let mut rng = SeededRng::new(1);
+    let train = cfg.generate_batch(2, &mut rng);
+    let test = cfg.generate_batch(2, &mut rng);
+    let conservative = evaluate_workload(&w, 0.5, &train, &test, 2);
+    let aggressive = evaluate_workload(&w, 4.0, &train, &test, 2);
+    assert!(conservative.metric > 0.93, "metric {}", conservative.metric);
+    assert!(conservative.stats.candidate_fraction() < 0.6);
+    assert!(aggressive.stats.candidate_fraction() < conservative.stats.candidate_fraction());
+    assert!(aggressive.metric <= conservative.metric + 0.02);
+}
+
+#[test]
+fn fig2_ordering_recommenders_highest() {
+    let gpu = GpuModel::v100();
+    let frac = |m: ModelKind| {
+        let cfg = m.config();
+        gpu.attention_runtime_fraction(&cfg, cfg.max_seq_len)
+    };
+    assert!(frac(ModelKind::SasRec) > frac(ModelKind::BertLarge));
+    assert!(frac(ModelKind::Bert4Rec) > frac(ModelKind::BertLarge));
+}
+
+#[test]
+fn fig11_ordering_padding_drives_speedup() {
+    // ELSA-base's advantage over GPU must be larger on padding-heavy
+    // (SQuAD-like) inputs than on dense (RACE-like) inputs.
+    let gpu = GpuModel::v100();
+    let cfg = AcceleratorConfig::paper();
+    let elsa_latency = |n_real: usize| {
+        cycle::simulate_execution_base(&cfg, n_real, n_real).total() as f64 * cfg.cycle_time_s()
+    };
+    let gpu_latency = gpu.attention_latency_s(512, 512, 64);
+    let squad_like = gpu_latency / elsa_latency(190) * 12.0;
+    let race_like = gpu_latency / elsa_latency(505) * 12.0;
+    assert!(squad_like > 2.5 * race_like, "{squad_like} vs {race_like}");
+}
+
+#[test]
+fn fig11b_base_close_to_ideal() {
+    // ELSA-base latency within ~15% of the ideal accelerator (paper: 1.03x).
+    let cfg = AcceleratorConfig::paper();
+    let ideal = IdealAccelerator::paper();
+    for n in [128usize, 256, 512] {
+        let elsa = cycle::simulate_execution_base(&cfg, n, n).total() as f64 * cfg.cycle_time_s();
+        let ideal_t = ideal.attention_latency_s(n, n, 64);
+        let ratio = elsa / ideal_t;
+        assert!((1.0..=1.2).contains(&ratio), "n={n}: base/ideal {ratio}");
+    }
+}
+
+#[test]
+fn a3_scaling_pathology_holds() {
+    let a3 = A3Model::paper();
+    let share_1 = a3.preprocessing_time_s(512, 64) / a3.total_time_s(512, 64, 1, true);
+    let share_12 = a3.preprocessing_time_s(512, 64) / a3.total_time_s(512, 64, 12, true);
+    assert!(share_12 > share_1);
+    assert!(share_12 > 0.5);
+}
+
+#[test]
+fn energy_ordering_across_points() {
+    // More approximation => less energy, monotonically across the four
+    // operating regimes (modeled via candidate counts).
+    let cfg = AcceleratorConfig::paper();
+    let n = 512;
+    let energy_at = |frac: f64| {
+        let c = ((n as f64 * frac) as usize).max(1);
+        let cand: Vec<usize> = (0..c).map(|i| (i * 509) % n).collect();
+        let mut sorted = cand;
+        sorted.sort_unstable();
+        sorted.dedup();
+        let count = sorted.len();
+        let report = cycle::simulate_execution(&cfg, n, &vec![sorted; n], false);
+        elsa::sim::cost::EnergyBreakdown::from_run(&cfg, &report, n, n * count, n).total_j()
+    };
+    let e100 = energy_at(1.0);
+    let e40 = energy_at(0.4);
+    let e25 = energy_at(0.25);
+    let e15 = energy_at(0.15);
+    assert!(e100 > e40 && e40 > e25 && e25 > e15, "{e100} {e40} {e25} {e15}");
+}

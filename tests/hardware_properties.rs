@@ -1,0 +1,146 @@
+//! Property-based tests over the hardware simulator, scheduler, and
+//! sparse-attention baselines.
+
+use elsa::linalg::SeededRng;
+use elsa::runtime::{BatchScheduler, SchedulePolicy};
+use elsa::sim::arbiter::{simulate_bank_drain_queued, ArbiterPolicy};
+use elsa::sim::cost::EnergyBreakdown;
+use elsa::sim::cycle::{
+    closed_form_query_cycles, simulate_bank_drain, simulate_execution,
+};
+use elsa::sim::AcceleratorConfig;
+use elsa::sparse::SegmentedAttention;
+use proptest::prelude::*;
+
+/// Strategy: a sorted set of distinct candidate positions within a bank.
+fn candidate_positions(bank_keys: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::btree_set(0..bank_keys, 0..bank_keys).prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn detailed_arbiter_with_deep_queues_matches_coarse_model(
+        positions in candidate_positions(128),
+    ) {
+        let coarse = simulate_bank_drain(8, 128, &positions);
+        let detailed = simulate_bank_drain_queued(
+            8,
+            128,
+            &positions,
+            1 << 16,
+            ArbiterPolicy::LongestQueueFirst,
+        );
+        prop_assert_eq!(detailed.finish_cycle, coarse);
+        prop_assert_eq!(detailed.stall_cycles, 0);
+    }
+
+    #[test]
+    fn shallow_queues_never_finish_earlier(
+        positions in candidate_positions(128),
+        depth in 1usize..4,
+    ) {
+        let deep = simulate_bank_drain_queued(8, 128, &positions, 1 << 16, ArbiterPolicy::LongestQueueFirst);
+        let shallow = simulate_bank_drain_queued(8, 128, &positions, depth, ArbiterPolicy::LongestQueueFirst);
+        prop_assert!(shallow.finish_cycle >= deep.finish_cycle);
+        // And both consume every candidate: finish bounded by scan + count.
+        prop_assert!(shallow.finish_cycle <= (16 + positions.len() + 8) as u64 * 2);
+    }
+
+    #[test]
+    fn execution_respects_closed_form_bound(
+        seed in 0u64..10_000,
+        count in 1usize..256,
+    ) {
+        let cfg = AcceleratorConfig::paper();
+        let n = 512;
+        let mut rng = SeededRng::new(seed);
+        let mut cand = rng.sample_indices(n, count);
+        cand.sort_unstable();
+        let mut per_bank = vec![0usize; cfg.p_a];
+        for &j in &cand {
+            per_bank[j % cfg.p_a] += 1;
+        }
+        let bound = closed_form_query_cycles(&cfg, n, &per_bank);
+        let report = simulate_execution(&cfg, n, &[cand], true);
+        prop_assert!(report.per_query[0] >= bound);
+        prop_assert!(report.per_query[0] <= bound + cfg.scan_cycles(n));
+    }
+
+    #[test]
+    fn energy_monotone_in_candidate_count(
+        seed in 0u64..1000,
+        c_small in 1usize..100,
+        extra in 1usize..100,
+    ) {
+        let cfg = AcceleratorConfig::paper();
+        let n = 512;
+        let mut rng = SeededRng::new(seed);
+        let mut small = rng.sample_indices(n, c_small);
+        small.sort_unstable();
+        let mut large = rng.sample_indices(n, (c_small + extra).min(n));
+        large.sort_unstable();
+        let small_report = simulate_execution(&cfg, n, &vec![small; 8], false);
+        let large_report = simulate_execution(&cfg, n, &vec![large; 8], false);
+        let e_small = EnergyBreakdown::from_run(&cfg, &small_report, 8, 8 * c_small, n);
+        let e_large = EnergyBreakdown::from_run(&cfg, &large_report, 8, 8 * (c_small + extra).min(n), n);
+        prop_assert!(e_large.total_j() >= e_small.total_j());
+    }
+
+    #[test]
+    fn scheduler_makespan_bounds(
+        jobs in prop::collection::vec(0.001f64..10.0, 1..40),
+        accels in 1usize..16,
+    ) {
+        let scheduler = BatchScheduler::new(accels, 0.0, SchedulePolicy::LongestFirst);
+        let schedule = scheduler.schedule(&jobs);
+        let max_job = jobs.iter().copied().fold(0.0, f64::max);
+        let total: f64 = jobs.iter().sum();
+        let lower = max_job.max(total / accels as f64);
+        prop_assert!(schedule.makespan_s() + 1e-12 >= lower);
+        // Graham's bound for LPT: makespan <= (4/3 - 1/3m) * OPT <= 4/3 * lower-ish;
+        // use the safe 2x bound of greedy list scheduling.
+        prop_assert!(schedule.makespan_s() <= 2.0 * lower + 1e-9);
+        // Work conservation.
+        let assigned: f64 = schedule.per_accelerator_s.iter().sum();
+        prop_assert!((assigned - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segmented_candidates_partition_consistently(
+        n in 2usize..200,
+        seg_len in 1usize..64,
+    ) {
+        let seg = SegmentedAttention::new(seg_len);
+        for i in 0..n {
+            let s = seg.segment_of(i);
+            let (lo, hi) = seg.segment_range(s, n);
+            prop_assert!(lo <= i && i < hi.max(lo + 1), "i={i} not in its own segment");
+        }
+        // Segment ranges tile [0, n).
+        let mut covered = 0usize;
+        let mut s = 0usize;
+        loop {
+            let (lo, hi) = seg.segment_range(s, n);
+            if lo >= n {
+                break;
+            }
+            prop_assert_eq!(lo, covered);
+            covered = hi;
+            s += 1;
+        }
+        prop_assert_eq!(covered, n);
+    }
+
+    #[test]
+    fn preprocessing_formula_holds(n in 1usize..2048, m_h in 1usize..512) {
+        let cfg = AcceleratorConfig {
+            m_h,
+            n_max: 2048,
+            ..AcceleratorConfig::paper()
+        };
+        let per_vec = 768u64.div_ceil(m_h as u64);
+        prop_assert_eq!(cfg.preprocessing_cycles(n), per_vec * (n as u64 + 1));
+    }
+}

@@ -1,0 +1,117 @@
+//! Checks against the concrete numbers the paper states in prose — the
+//! reproduction's anchor points.
+
+use elsa::algorithm::calibration::{calibrate_theta_bias, CalibrationConfig};
+use elsa::algorithm::hashing::SrpHasher;
+use elsa::baselines::{AttentionDevice, GpuModel, IdealAccelerator};
+use elsa::linalg::SeededRng;
+use elsa::sim::cost::AreaPowerTable;
+use elsa::sim::cycle;
+use elsa::sim::AcceleratorConfig;
+
+#[test]
+fn theta_bias_for_d64_k64_is_0_127() {
+    // §III-B: "For a specific case d = 64 and k = 64, θ_bias is 0.127."
+    let cfg = CalibrationConfig::default();
+    let bias = calibrate_theta_bias(&cfg, &mut SeededRng::new(2021));
+    assert!((bias - 0.127).abs() < 0.02, "calibrated {bias}");
+}
+
+#[test]
+fn hash_cost_formulas() {
+    // §III-C: dense d^2 = 4096, two-way 2d^{3/2} = 1024, three-way 3d^{4/3} = 768.
+    let mut rng = SeededRng::new(1);
+    assert_eq!(SrpHasher::dense(64, 64, &mut rng).multiplication_count(), 4096);
+    assert_eq!(SrpHasher::kronecker_two_way(64, &mut rng).multiplication_count(), 1024);
+    assert_eq!(SrpHasher::kronecker_three_way(64, &mut rng).multiplication_count(), 768);
+}
+
+#[test]
+fn preprocessing_cycle_formula() {
+    // §IV-D: preprocessing takes 3d^{4/3}(n+1)/m_h cycles.
+    let cfg = AcceleratorConfig::paper();
+    assert_eq!(cfg.preprocessing_cycles(512), 768 * 513 / 256);
+}
+
+#[test]
+fn hash_module_registers() {
+    // §IV-C: 48 = 3·d^{2/3} registers hold the three 4x4 factor matrices.
+    let mut rng = SeededRng::new(2);
+    let hasher = SrpHasher::kronecker_three_way(64, &mut rng);
+    let factors = hasher.kronecker_factors().expect("kronecker backend");
+    let register_count: usize =
+        factors.factors().iter().map(|f| f.rows() * f.cols()).sum();
+    assert_eq!(register_count, 48);
+}
+
+#[test]
+fn memory_sizes_of_section_4c() {
+    // Key hash SRAM 4 KB, key norm SRAM 512 B, matrix memories ~36 KB at
+    // n = 512, d = 64, 9-bit elements.
+    let cfg = AcceleratorConfig::paper();
+    assert_eq!(cfg.key_hash_bytes(), 4 * 1024);
+    assert_eq!(cfg.key_norm_bytes(), 512);
+    assert_eq!(cfg.matrix_memory_bytes(), 36 * 1024);
+}
+
+#[test]
+fn table1_totals() {
+    let table = AreaPowerTable::for_config(&AcceleratorConfig::paper());
+    assert!((table.accelerator_area_mm2() - 1.255).abs() < 1e-6);
+    assert!((table.external_area_mm2() - 0.892).abs() < 1e-6);
+    assert!((table.peak_power_w() - 1.494).abs() < 0.005);
+    assert!((table.aggregate_peak_power_w() - 17.93).abs() < 0.05);
+}
+
+#[test]
+fn peak_throughput_iso_flops_matching() {
+    // §V-C: twelve accelerators ≈ 13 TOPS vs the V100's 14 TFLOPS.
+    let cfg = AcceleratorConfig::paper();
+    let elsa = cfg.aggregate_peak_ops_per_second();
+    let gpu = GpuModel::v100().peak_flops();
+    let ratio = elsa / gpu;
+    assert!((0.85..=1.0).contains(&ratio), "iso-peak ratio {ratio}");
+}
+
+#[test]
+fn ideal_accelerator_has_528_multipliers() {
+    let ideal = IdealAccelerator::paper();
+    assert_eq!(ideal.multipliers, AcceleratorConfig::paper().total_multipliers());
+}
+
+#[test]
+fn section_4d_eight_x_example() {
+    // §IV-D: with P_c=8, m_h=64, m_o=8 (single pipeline) the design can
+    // reach up to 8x over its own base as long as n >= 96, and the speedup
+    // is min(n/c, 8).
+    let cfg = AcceleratorConfig::single_pipeline();
+    let n = 512;
+    let base = cycle::simulate_execution_base(&cfg, n, n);
+    // c = 8 candidates/query: selection scan (n/8 = 64 cycles) caps at 8x.
+    let sparse: Vec<Vec<usize>> = (0..n).map(|i| (0..8).map(|j| (i + j * 64) % n).collect()).collect();
+    let fast = cycle::simulate_execution(&cfg, n, &sparse, false);
+    let speedup = base.execution as f64 / fast.execution as f64;
+    assert!((7.0..=8.01).contains(&speedup), "speedup {speedup}");
+    // c = 128 candidates/query: attention-bound, speedup n/c = 4.
+    let half: Vec<Vec<usize>> = (0..n).map(|i| (0..128).map(|j| (i + j * 4) % n).collect()).collect();
+    let medium = cycle::simulate_execution(&cfg, n, &half, false);
+    let speedup = base.execution as f64 / medium.execution as f64;
+    assert!((3.4..=4.01).contains(&speedup), "speedup {speedup}");
+}
+
+#[test]
+fn gpu_baseline_window_matches_fig11() {
+    // ELSA-base over GPU must land in the paper's 7.99-43.93x window for
+    // the extreme padding cases (RACE ~ dense, SQuAD ~ 2.3x padding).
+    let gpu = GpuModel::v100();
+    let cfg = AcceleratorConfig::paper();
+    let elsa_base_latency = |n_real: usize| {
+        let report = cycle::simulate_execution_base(&cfg, n_real, n_real);
+        report.total() as f64 * cfg.cycle_time_s()
+    };
+    let gpu_latency = gpu.attention_latency_s(512, 512, 64);
+    let dense = (12.0 / elsa_base_latency(512)) / (1.0 / gpu_latency);
+    let padded = (12.0 / elsa_base_latency(190)) / (1.0 / gpu_latency);
+    assert!((5.0..=12.0).contains(&dense), "dense-case speedup {dense}");
+    assert!((25.0..=60.0).contains(&padded), "padded-case speedup {padded}");
+}
