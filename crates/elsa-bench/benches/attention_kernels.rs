@@ -1,14 +1,17 @@
-//! Criterion micro-benchmarks of the attention kernels: exact attention,
+//! Micro-benchmarks of the attention kernels: exact attention,
 //! candidate-restricted attention, and the full ELSA approximate operator,
 //! across sequence lengths.
+//!
+//! Runs on the `elsa-testkit` bench harness: `cargo bench` measures,
+//! `cargo test --benches` smoke-runs every benchmark once.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use elsa_attention::exact;
 use elsa_core::attention::{ElsaAttention, ElsaParams};
 use elsa_linalg::SeededRng;
+use elsa_testkit::bench::{Bench, BenchmarkId};
 use elsa_workloads::AttentionPatternConfig;
 
-fn bench_attention(c: &mut Criterion) {
+fn bench_attention(c: &mut Bench) {
     let mut group = c.benchmark_group("attention");
     group.sample_size(20);
     for &n in &[128usize, 256, 512] {
@@ -38,5 +41,4 @@ fn bench_attention(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_attention);
-criterion_main!(benches);
+elsa_testkit::bench_main!(bench_attention);

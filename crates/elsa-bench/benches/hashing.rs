@@ -1,13 +1,16 @@
-//! Criterion micro-benchmarks of the hash-computation paths: dense
-//! projection vs the 2-way and 3-way Kronecker transforms, plus Hamming
-//! distance and the full preprocessing of a key matrix.
+//! Micro-benchmarks of the hash-computation paths: dense projection vs the
+//! 2-way and 3-way Kronecker transforms, plus Hamming distance and the full
+//! preprocessing of a key matrix.
+//!
+//! Runs on the `elsa-testkit` bench harness: `cargo bench` measures,
+//! `cargo test --benches` smoke-runs every benchmark once.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use elsa_core::attention::{ElsaParams, PreprocessedKeys};
 use elsa_core::hashing::SrpHasher;
 use elsa_linalg::{Matrix, SeededRng};
+use elsa_testkit::bench::{Bench, BenchmarkId};
 
-fn bench_hashing(c: &mut Criterion) {
+fn bench_hashing(c: &mut Bench) {
     let d = 64;
     let mut rng = SeededRng::new(3);
     let x = rng.normal_vec(d);
@@ -44,5 +47,4 @@ fn bench_hashing(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_hashing);
-criterion_main!(benches);
+elsa_testkit::bench_main!(bench_hashing);

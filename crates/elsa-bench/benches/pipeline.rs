@@ -1,16 +1,19 @@
-//! Criterion micro-benchmarks of the cycle-level pipeline simulator and the
-//! quantized functional datapath — the costs of *running the simulation*
-//! itself, which bound how large an experiment sweep can be.
+//! Micro-benchmarks of the cycle-level pipeline simulator and the quantized
+//! functional datapath — the costs of *running the simulation* itself, which
+//! bound how large an experiment sweep can be.
+//!
+//! Runs on the `elsa-testkit` bench harness: `cargo bench` measures,
+//! `cargo test --benches` smoke-runs every benchmark once.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use elsa_core::attention::{ElsaAttention, ElsaParams};
 use elsa_linalg::SeededRng;
 use elsa_sim::cycle::{simulate_execution, simulate_execution_base};
 use elsa_sim::functional::QuantizedElsaAttention;
 use elsa_sim::AcceleratorConfig;
+use elsa_testkit::bench::{Bench, BenchmarkId};
 use elsa_workloads::AttentionPatternConfig;
 
-fn bench_pipeline(c: &mut Criterion) {
+fn bench_pipeline(c: &mut Bench) {
     let cfg = AcceleratorConfig::paper();
     let n = 512;
     let mut group = c.benchmark_group("cycle_sim");
@@ -41,5 +44,4 @@ fn bench_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);
+elsa_testkit::bench_main!(bench_pipeline);

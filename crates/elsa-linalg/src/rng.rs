@@ -4,12 +4,12 @@
 //! components (projection vectors, synthetic workloads, calibration datasets)
 //! draw from a [`SeededRng`] constructed from an explicit `u64` seed.
 //!
-//! The `rand` crate (the only RNG dependency allowed offline) does not ship a
-//! normal distribution, so [`SeededRng::standard_normal`] implements the
-//! Box–Muller transform directly.
+//! [`SeededRng`] is a thin wrapper over the workspace's own
+//! [`elsa_testkit::TestRng`] (xoshiro256++ seeded through SplitMix64, with
+//! Box–Muller normals) — no external RNG crate is involved, so the stream is
+//! identical on every platform and toolchain.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+use elsa_testkit::TestRng;
 
 /// A deterministic random source with the sampling primitives the ELSA
 /// reproduction needs.
@@ -23,18 +23,16 @@ use rand::{Rng, RngCore, SeedableRng};
 /// let mut b = SeededRng::new(42);
 /// assert_eq!(a.standard_normal(), b.standard_normal());
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SeededRng {
-    inner: StdRng,
-    /// Spare normal deviate from the last Box–Muller pair.
-    cached_normal: Option<f64>,
+    inner: TestRng,
 }
 
 impl SeededRng {
     /// Creates a generator from an explicit seed.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        Self { inner: StdRng::seed_from_u64(seed), cached_normal: None }
+        Self { inner: TestRng::new(seed) }
     }
 
     /// Derives an independent child generator; used to give each layer /
@@ -42,14 +40,13 @@ impl SeededRng {
     /// another's draws.
     #[must_use]
     pub fn fork(&mut self, label: u64) -> Self {
-        let base = self.inner.next_u64();
-        Self::new(base ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        Self { inner: self.inner.split(label) }
     }
 
     /// Uniform draw in `[0, 1)`.
     #[must_use]
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        self.inner.uniform()
     }
 
     /// Uniform draw in `[lo, hi)`.
@@ -59,8 +56,7 @@ impl SeededRng {
     /// Panics if `lo >= hi`.
     #[must_use]
     pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo < hi, "empty uniform range [{lo}, {hi})");
-        lo + self.uniform() * (hi - lo)
+        self.inner.uniform_in(lo, hi)
     }
 
     /// Uniform integer in `[0, n)`.
@@ -70,29 +66,19 @@ impl SeededRng {
     /// Panics if `n == 0`.
     #[must_use]
     pub fn index(&mut self, n: usize) -> usize {
-        assert!(n > 0, "index range must be nonempty");
-        self.inner.gen_range(0..n)
+        self.inner.index(n)
     }
 
     /// A standard normal `N(0, 1)` deviate via the Box–Muller transform.
     #[must_use]
     pub fn standard_normal(&mut self) -> f64 {
-        if let Some(z) = self.cached_normal.take() {
-            return z;
-        }
-        // Box–Muller on (0,1] × [0,1) uniforms.
-        let u1: f64 = 1.0 - self.uniform(); // in (0, 1], avoids ln(0)
-        let u2: f64 = self.uniform();
-        let r = (-2.0 * u1.ln()).sqrt();
-        let theta = 2.0 * std::f64::consts::PI * u2;
-        self.cached_normal = Some(r * theta.sin());
-        r * theta.cos()
+        self.inner.standard_normal()
     }
 
     /// A normal deviate with the given mean and standard deviation.
     #[must_use]
     pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
-        mean + std_dev * self.standard_normal()
+        self.inner.normal(mean, std_dev)
     }
 
     /// Fills a vector with `len` standard normal deviates.
@@ -104,7 +90,7 @@ impl SeededRng {
     /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
     #[must_use]
     pub fn bernoulli(&mut self, p: f64) -> bool {
-        self.uniform() < p.clamp(0.0, 1.0)
+        self.inner.bernoulli(p)
     }
 
     /// A random unit vector of dimension `d` (normal direction, normalized).
@@ -165,6 +151,20 @@ mod tests {
     }
 
     #[test]
+    fn determinism_across_primitive_kinds() {
+        // Same seed must replay the same mixed-draw sequence, not just the
+        // same uniform stream.
+        let mut a = SeededRng::new(2024);
+        let mut b = SeededRng::new(2024);
+        for i in 1..50 {
+            assert_eq!(a.standard_normal(), b.standard_normal());
+            assert_eq!(a.index(i + 1), b.index(i + 1));
+            assert_eq!(a.bernoulli(0.3), b.bernoulli(0.3));
+            assert_eq!(a.uniform_in(-3.0, 9.0), b.uniform_in(-3.0, 9.0));
+        }
+    }
+
+    #[test]
     fn different_seeds_differ() {
         let mut a = SeededRng::new(1);
         let mut b = SeededRng::new(2);
@@ -182,6 +182,29 @@ mod tests {
     }
 
     #[test]
+    fn fork_children_decorrelated_from_parent_and_each_other() {
+        let mut root = SeededRng::new(17);
+        let mut child_a = root.fork(1);
+        let mut child_b = root.fork(2);
+        let matches_ab =
+            (0..256).filter(|_| child_a.uniform() == child_b.uniform()).count();
+        assert_eq!(matches_ab, 0, "sibling forks share draws");
+        let mut root_replay = SeededRng::new(17);
+        let matches_parent =
+            (0..256).filter(|_| root.uniform() == root_replay.uniform()).count();
+        assert_eq!(matches_parent, 0, "forked parent replays pre-fork stream");
+    }
+
+    #[test]
+    fn fork_labels_select_distinct_streams() {
+        // Same parent state, different labels => different child streams.
+        let mut c1 = SeededRng::new(3).fork(1);
+        let mut c2 = SeededRng::new(3).fork(2);
+        let same = (0..128).filter(|_| c1.uniform() == c2.uniform()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
     fn standard_normal_moments() {
         let mut rng = SeededRng::new(12345);
         let n = 50_000;
@@ -190,6 +213,28 @@ mod tests {
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn standard_normal_moments_10k_across_seeds() {
+        // Statistical sanity at the 10k-draw scale for several seeds: mean
+        // within ~4 sigma of 0 (sigma_mean = 1/sqrt(n)), variance near 1,
+        // and both tails actually populated.
+        for seed in [1u64, 7, 99, 12345, 0xDEAD_BEEF] {
+            let mut rng = SeededRng::new(seed);
+            let n = 10_000;
+            let samples: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+            let mean = samples.iter().sum::<f64>() / n as f64;
+            let var =
+                samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+            assert!(mean.abs() < 0.04, "seed {seed}: mean {mean}");
+            assert!((var - 1.0).abs() < 0.06, "seed {seed}: var {var}");
+            let above = samples.iter().filter(|&&x| x > 1.0).count() as f64 / n as f64;
+            let below = samples.iter().filter(|&&x| x < -1.0).count() as f64 / n as f64;
+            // P(X > 1) ~ 0.1587 for a standard normal.
+            assert!((above - 0.1587).abs() < 0.02, "seed {seed}: upper tail {above}");
+            assert!((below - 0.1587).abs() < 0.02, "seed {seed}: lower tail {below}");
+        }
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Property tests guarding the §IV-E LUT functional units: the exponent,
+//! reciprocal, and square-root approximations must stay inside their
+//! analytical relative-error bounds against an `f64` reference across their
+//! whole input domains.
+//!
+//! These are the numerical contracts the fixed-point/LUT datapath is built
+//! on; the softmax pipeline composes all three units, so a silent regression
+//! in any one of them corrupts every accuracy figure downstream.
+
+use elsa_numeric::{CosLut, CustomFloat, ExpUnit, ReciprocalUnit, SqrtUnit};
+use elsa_testkit::prelude::*;
+
+/// One 32-entry mantissa segment of the reciprocal table, as a relative
+/// half-width: the mantissa lies in [1, 2), the table is indexed by its top
+/// 5 bits, and the stored value is the midpoint reciprocal.
+fn reciprocal_segment_bound() -> f64 {
+    // Worst case at mantissa ~ 1: segment width 1/32, so midpoint error
+    // ~ 1/64 relative — plus one format epsilon for rounding the *input*
+    // into the 5-bit-mantissa custom float and one for rounding the output.
+    1.0 / 64.0 + 2.0 * CustomFloat::epsilon() + 1e-12
+}
+
+props! {
+    config: Config::with_cases(256);
+
+    // ---- exponent unit ----
+
+    fn exp_relative_error_bounded_on_softmax_domain(x in range(-80.0, 80.0)) {
+        // Softmax scores after max-subtraction are <= 0, but the unit is also
+        // used on raw logits; cover both signs well past f16 range.
+        let unit = ExpUnit::new();
+        let approx = unit.exp(x).to_f64();
+        let exact = x.exp();
+        let rel = ((approx - exact) / exact).abs();
+        prop_assert!(
+            rel <= ExpUnit::worst_case_relative_error() + 1e-9,
+            "exp({x}): rel err {rel} > bound {}",
+            ExpUnit::worst_case_relative_error()
+        );
+    }
+
+    fn exp_output_is_positive_and_finite(x in range(-200.0, 200.0)) {
+        let unit = ExpUnit::new();
+        let y = unit.exp(x).to_f64();
+        prop_assert!(y > 0.0 || (x < -150.0 && y == 0.0), "exp({x}) = {y}");
+        prop_assert!(y.is_finite(), "exp({x}) overflowed to {y}");
+    }
+
+    fn exp_monotone_on_random_pairs(a in range(-60.0, 60.0), b in range(-60.0, 60.0)) {
+        let unit = ExpUnit::new();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(unit.exp(lo).to_f64() <= unit.exp(hi).to_f64());
+    }
+
+    // ---- reciprocal unit ----
+
+    fn reciprocal_relative_error_bounded(mag in range(-12.0, 12.0), neg in bools()) {
+        // Log-uniform magnitudes: softmax denominators span many octaves.
+        let x = if neg { -1.0 } else { 1.0 } * 10f64.powf(mag);
+        let unit = ReciprocalUnit::new();
+        let r = unit.reciprocal_f64(x);
+        let rel = ((r - 1.0 / x) * x).abs();
+        prop_assert!(
+            rel <= reciprocal_segment_bound(),
+            "recip({x}): rel err {rel} > bound {}",
+            reciprocal_segment_bound()
+        );
+    }
+
+    fn reciprocal_preserves_sign_and_inverts_magnitude(mag in range(-6.0, 6.0), neg in bools()) {
+        let x = if neg { -1.0 } else { 1.0 } * 10f64.powf(mag);
+        let unit = ReciprocalUnit::new();
+        let r = unit.reciprocal_f64(x);
+        prop_assert_eq!(r.is_sign_negative(), x.is_sign_negative());
+        // recip(recip(x)) returns to x within twice the one-pass bound.
+        let back = unit.reciprocal_f64(r);
+        let rel = ((back - x) / x).abs();
+        prop_assert!(rel <= 2.0 * reciprocal_segment_bound() + 0.01, "double recip({x}): {rel}");
+    }
+
+    // ---- square-root unit ----
+
+    fn sqrt_relative_error_bounded(mag in range(-9.0, 9.0)) {
+        // Log-uniform over 18 decades; covers key norms (<= 256 for d=64
+        // fixed-point keys) with huge margin on both sides.
+        let x = 10f64.powf(mag);
+        let unit = SqrtUnit::new();
+        let r = unit.sqrt(x);
+        let rel = ((r - x.sqrt()) / x.sqrt()).abs();
+        // The tabulate-and-multiply bound plus f64 arithmetic slack.
+        prop_assert!(
+            rel <= SqrtUnit::worst_case_relative_error() + 1e-9,
+            "sqrt({x}): rel err {rel} > bound {}",
+            SqrtUnit::worst_case_relative_error()
+        );
+    }
+
+    fn sqrt_monotone_on_random_pairs(a in range(0.0, 1e6), b in range(0.0, 1e6)) {
+        let unit = SqrtUnit::new();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(unit.sqrt(lo) <= unit.sqrt(hi) + 1e-12);
+    }
+
+    fn sqrt_of_square_recovers_norm(v in range(0.001, 300.0)) {
+        // The norm datapath computes sqrt(dot(k, k)); squaring then rooting
+        // must return the input within the unit's bound.
+        let unit = SqrtUnit::new();
+        let r = unit.sqrt(v * v);
+        let rel = ((r - v) / v).abs();
+        prop_assert!(rel <= SqrtUnit::worst_case_relative_error() + 1e-9, "norm {v}: {rel}");
+    }
+
+    // ---- cosine table ----
+
+    fn cos_lut_within_unit_interval_and_monotone(k in ints(2, 256), h in ints(0, 257)) {
+        prop_assume!(h <= k);
+        let lut = CosLut::new(k, 0.127);
+        let v = lut.value(h);
+        prop_assert!((-1.0..=1.0).contains(&v), "cos value {v} outside [-1, 1]");
+        if h > 0 {
+            // Monotone nonincreasing in Hamming distance over [0, pi].
+            prop_assert!(lut.value(h) <= lut.value(h - 1) + 1e-12);
+        }
+    }
+}
+
+#[test]
+fn exp_bound_is_tight_enough_to_matter() {
+    // The documented worst case (~1.1% + format eps) must not drift upward:
+    // the paper's accuracy claims assume a sub-2% exponent unit.
+    assert!(ExpUnit::worst_case_relative_error() < 0.03);
+    assert!(SqrtUnit::worst_case_relative_error() < 1e-3);
+}

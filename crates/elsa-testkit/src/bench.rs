@@ -1,0 +1,358 @@
+//! A lightweight micro-benchmark harness, `cargo bench` compatible.
+//!
+//! Bench targets declare `harness = false` and use [`bench_main!`](crate::bench_main):
+//!
+//! ```ignore
+//! use elsa_testkit::bench::{Bench, BenchmarkId};
+//!
+//! fn bench_sum(c: &mut Bench) {
+//!     let mut group = c.benchmark_group("sums");
+//!     group.bench_function("1k", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+//!     group.finish();
+//! }
+//!
+//! elsa_testkit::bench_main!(bench_sum);
+//! ```
+//!
+//! Under `cargo bench` (the binary receives `--bench`) each benchmark is
+//! warmed up and timed over many samples, reporting min / median / p95 per
+//! iteration. Under `cargo test --benches` (no `--bench` flag) each closure
+//! runs exactly once as a smoke test, so benches can never silently rot.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+///
+/// Same contract as `criterion::black_box` / `std::hint::black_box`.
+#[must_use]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How the harness was invoked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// `cargo bench`: warm up and measure.
+    Measure,
+    /// `cargo test` / direct run: execute each benchmark once.
+    Smoke,
+}
+
+/// Identifier for one benchmark within a group: a function name and an
+/// optional parameter (mirrors the criterion type so ports are mechanical).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Id with both a function name and a parameter.
+    #[must_use]
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { function: Some(function.into()), parameter: Some(parameter.to_string()) }
+    }
+
+    /// Id distinguished only by a parameter value.
+    #[must_use]
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { function: None, parameter: Some(parameter.to_string()) }
+    }
+
+    fn label(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("bench"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self { function: Some(name.to_string()), parameter: None }
+    }
+}
+
+/// Top-level harness handle passed to each registered bench function.
+#[derive(Debug)]
+pub struct Bench {
+    mode: Mode,
+    /// Substring filter from the command line (criterion-style positional arg).
+    filter: Option<String>,
+    ran: usize,
+}
+
+impl Bench {
+    /// Builds the harness from `std::env::args`, detecting `--bench` (added
+    /// by `cargo bench`) vs test invocation, and taking the first
+    /// non-flag argument as a name filter.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut mode = Mode::Smoke;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => mode = Mode::Measure,
+                "--test" => mode = Mode::Smoke,
+                a if !a.starts_with('-') && filter.is_none() => filter = Some(a.to_string()),
+                _ => {}
+            }
+        }
+        Self { mode, filter, ran: 0 }
+    }
+
+    /// Harness with an explicit mode (for tests of the harness itself).
+    #[must_use]
+    pub fn with_mode(mode: Mode) -> Self {
+        Self { mode, filter: None, ran: 0 }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchGroup<'_> {
+        BenchGroup { bench: self, name: name.into(), sample_size: 30 }
+    }
+
+    /// Prints the closing summary; called by [`bench_main!`](crate::bench_main).
+    pub fn final_summary(&self) {
+        if self.mode == Mode::Measure {
+            println!("\n{} benchmark(s) measured", self.ran);
+        }
+    }
+
+    fn matches(&self, label: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| label.contains(f))
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchGroup<'a> {
+    bench: &'a mut Bench,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchGroup<'_> {
+    /// Sets the number of timed samples collected per benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (percentiles need at least two samples).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Registers and runs a benchmark taking no external input.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        self.run(id.into(), |b| f(b));
+    }
+
+    /// Registers and runs a benchmark over a borrowed input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.run(id, |b| f(b, input));
+    }
+
+    /// No-op, for criterion signature compatibility.
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let label = format!("{}/{}", self.name, id.label());
+        if !self.bench.matches(&label) {
+            return;
+        }
+        let mut bencher = Bencher {
+            mode: self.bench.mode,
+            sample_size: self.sample_size,
+            report: None,
+        };
+        f(&mut bencher);
+        self.bench.ran += 1;
+        match (self.bench.mode, bencher.report) {
+            (Mode::Measure, Some(r)) => println!("{label:<48} {r}"),
+            (Mode::Measure, None) => println!("{label:<48} (no iter call)"),
+            (Mode::Smoke, _) => {}
+        }
+    }
+}
+
+/// Timing statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// 95th-percentile sample.
+    pub p95_ns: f64,
+    /// Number of samples collected.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "median {:>10}  p95 {:>10}  min {:>10}  ({} samples x {} iters)",
+            format_ns(self.median_ns),
+            format_ns(self.p95_ns),
+            format_ns(self.min_ns),
+            self.samples,
+            self.iters_per_sample,
+        )
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the
+/// routine to measure.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    report: Option<Report>,
+}
+
+/// Target wall-clock time for one timed sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(10);
+/// Warmup budget before sampling starts.
+const WARMUP_TARGET: Duration = Duration::from_millis(200);
+
+impl Bencher {
+    /// Runs the routine: once in smoke mode, warmup + timed samples in
+    /// measure mode. The routine's return value is passed through
+    /// [`black_box`] so computing it cannot be optimized away.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        match self.mode {
+            Mode::Smoke => {
+                let _ = black_box(routine());
+            }
+            Mode::Measure => {
+                self.report = Some(Self::measure(&mut routine, self.sample_size));
+            }
+        }
+    }
+
+    fn measure<R>(routine: &mut impl FnMut() -> R, sample_size: usize) -> Report {
+        // Warmup: run until the budget elapses, estimating per-iter cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_TARGET {
+            let _ = black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Choose iterations per sample so each sample hits the target time.
+        let iters_per_sample =
+            ((SAMPLE_TARGET.as_secs_f64() / per_iter).ceil() as u64).clamp(1, 1_000_000_000);
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                let _ = black_box(routine());
+            }
+            samples_ns.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(f64::total_cmp);
+        let pick = |q: f64| {
+            let idx = ((samples_ns.len() - 1) as f64 * q).round() as usize;
+            samples_ns[idx]
+        };
+        Report {
+            min_ns: samples_ns[0],
+            median_ns: pick(0.5),
+            p95_ns: pick(0.95),
+            samples: samples_ns.len(),
+            iters_per_sample,
+        }
+    }
+}
+
+/// Generates the `main` function of a `harness = false` bench target,
+/// running each listed `fn(&mut Bench)` in order.
+#[macro_export]
+macro_rules! bench_main {
+    ( $( $func:path ),+ $(,)? ) => {
+        fn main() {
+            let mut bench = $crate::bench::Bench::from_args();
+            $( $func(&mut bench); )+
+            bench.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_each_routine_once() {
+        let mut bench = Bench::with_mode(Mode::Smoke);
+        let count = std::cell::Cell::new(0u32);
+        let mut group = bench.benchmark_group("g");
+        group.bench_function("one", |b| b.iter(|| count.set(count.get() + 1)));
+        group.bench_with_input(BenchmarkId::new("two", 7), &7, |b, &x| {
+            b.iter(|| count.set(count.get() + x))
+        });
+        group.finish();
+        assert_eq!(count.get(), 8);
+    }
+
+    #[test]
+    fn measure_mode_produces_ordered_percentiles() {
+        let report = Bencher::measure(&mut || black_box((0..100u64).sum::<u64>()), 10);
+        assert!(report.min_ns > 0.0);
+        assert!(report.min_ns <= report.median_ns);
+        assert!(report.median_ns <= report.p95_ns);
+        assert_eq!(report.samples, 10);
+        assert!(report.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching_benchmarks() {
+        let mut bench = Bench::with_mode(Mode::Smoke);
+        bench.filter = Some("wanted".into());
+        let count = std::cell::Cell::new(0u32);
+        let mut group = bench.benchmark_group("g");
+        group.bench_function("wanted_case", |b| b.iter(|| count.set(count.get() + 1)));
+        group.bench_function("other", |b| b.iter(|| count.set(count.get() + 100)));
+        group.finish();
+        assert_eq!(count.get(), 1);
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("f", 128).label(), "f/128");
+        assert_eq!(BenchmarkId::from_parameter("dense").label(), "dense");
+        assert_eq!(BenchmarkId::from("plain").label(), "plain");
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert_eq!(format_ns(12.3), "12.3 ns");
+        assert_eq!(format_ns(12_300.0), "12.30 us");
+        assert_eq!(format_ns(12_300_000.0), "12.30 ms");
+        assert_eq!(format_ns(2_500_000_000.0), "2.500 s");
+    }
+}

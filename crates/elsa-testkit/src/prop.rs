@@ -1,0 +1,839 @@
+//! A minimal property-based testing harness.
+//!
+//! The shape follows proptest: a [`Gen`] produces random values and knows how
+//! to propose smaller variants of a failing one; [`check`] drives seeded case
+//! generation, and on failure shrinks greedily and panics with the
+//! reproducing seed. The [`props!`](crate::props) macro packages one
+//! generator + property pair per `#[test]` function.
+//!
+//! # Reproducing failures
+//!
+//! Every failure message contains a `case seed`. Set `ELSA_TESTKIT_SEED` to
+//! that value to make the failing draw the *first* case of the run:
+//!
+//! ```text
+//! ELSA_TESTKIT_SEED=0x1234abcd cargo test -q failing_property
+//! ```
+
+use crate::rng::{SplitMix64, TestRng};
+use std::fmt::Debug;
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum CaseError {
+    /// The property's assertion failed with this message.
+    Fail(String),
+    /// The generated input did not satisfy a `prop_assume!` precondition.
+    Discard,
+}
+
+/// Outcome of running the property on one generated value.
+pub type CaseResult = Result<(), CaseError>;
+
+/// A generator of random test inputs with optional greedy shrinking.
+pub trait Gen {
+    /// The type of generated values.
+    type Value: Clone + Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes strictly "smaller" variants of a failing value, most
+    /// aggressive first. The default proposes nothing (no shrinking).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+// Allow passing generators by reference.
+impl<G: Gen + ?Sized> Gen for &G {
+    type Value = G::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
+}
+
+/// Harness configuration: number of cases, base seed, shrink/discard limits.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of passing cases required.
+    pub cases: u32,
+    /// Base seed; per-case seeds are derived from it. Overridden by the
+    /// `ELSA_TESTKIT_SEED` environment variable.
+    pub seed: u64,
+    /// Maximum greedy shrink steps after a failure.
+    pub max_shrink_steps: u32,
+    /// Maximum discarded cases per passing case before giving up.
+    pub max_discard_ratio: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { cases: 256, seed: 0xE15A_7E57_0000_0000, max_shrink_steps: 512, max_discard_ratio: 10 }
+    }
+}
+
+impl Config {
+    /// A config running `cases` cases with the default seed and limits.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases, ..Self::default() }
+    }
+
+    /// Replaces the base seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+fn env_seed() -> Option<u64> {
+    let raw = std::env::var("ELSA_TESTKIT_SEED").ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(seed) => Some(seed),
+        Err(_) => panic!("ELSA_TESTKIT_SEED is not a valid u64: {raw:?}"),
+    }
+}
+
+/// Runs `prop` against `config.cases` values drawn from `gen`.
+///
+/// On failure the input is shrunk greedily — repeatedly replacing it with the
+/// first proposed variant that still fails — and the panic message reports
+/// the property name, the reproducing case seed, and both the original and
+/// shrunk inputs.
+///
+/// # Panics
+///
+/// Panics if any case fails, or if the discard ratio is exceeded.
+pub fn check<G: Gen>(name: &str, config: &Config, gen: &G, prop: impl Fn(&G::Value) -> CaseResult) {
+    let base_seed = env_seed().unwrap_or(config.seed);
+    // Each case gets its own seed so one reported number reproduces it.
+    let mut seed_stream = SplitMix64::new(base_seed);
+    let mut passed: u32 = 0;
+    let mut discarded: u64 = 0;
+    let mut case_index: u64 = 0;
+    while passed < config.cases {
+        // With ELSA_TESTKIT_SEED set, the first case replays the seed exactly.
+        let case_seed = if case_index == 0 && env_seed().is_some() {
+            base_seed
+        } else {
+            seed_stream.next_u64()
+        };
+        case_index += 1;
+        let mut rng = TestRng::new(case_seed);
+        let value = gen.generate(&mut rng);
+        match prop(&value) {
+            Ok(()) => passed += 1,
+            Err(CaseError::Discard) => {
+                discarded += 1;
+                let allowed = u64::from(config.max_discard_ratio) * u64::from(config.cases);
+                assert!(
+                    discarded <= allowed,
+                    "property `{name}`: discarded {discarded} cases \
+                     (limit {allowed}); weaken the prop_assume! preconditions"
+                );
+            }
+            Err(CaseError::Fail(first_msg)) => {
+                let (shrunk, msg, steps) = shrink_failure(gen, &prop, value.clone(), first_msg, config);
+                panic!(
+                    "property `{name}` failed after {passed} passing case(s)\n\
+                     case seed: {case_seed:#018x} (rerun with ELSA_TESTKIT_SEED={case_seed:#x})\n\
+                     original input: {value:?}\n\
+                     shrunk input ({steps} step(s)): {shrunk:?}\n\
+                     failure: {msg}"
+                );
+            }
+        }
+    }
+}
+
+/// Greedy shrinking: keep the first proposed variant that still fails.
+fn shrink_failure<G: Gen>(
+    gen: &G,
+    prop: &impl Fn(&G::Value) -> CaseResult,
+    mut current: G::Value,
+    mut msg: String,
+    config: &Config,
+) -> (G::Value, String, u32) {
+    let mut steps = 0;
+    'outer: while steps < config.max_shrink_steps {
+        for candidate in gen.shrink(&current) {
+            if let Err(CaseError::Fail(m)) = prop(&candidate) {
+                current = candidate;
+                msg = m;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, msg, steps)
+}
+
+// ---------------------------------------------------------------------------
+// Scalar generators
+// ---------------------------------------------------------------------------
+
+/// Uniform `f64` in `[lo, hi)`; shrinks toward the in-range point nearest 0.
+#[derive(Debug, Clone)]
+pub struct F64Range {
+    lo: f64,
+    hi: f64,
+}
+
+/// Uniform `f64` in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if the range is empty or not finite.
+#[must_use]
+pub fn range(lo: f64, hi: f64) -> F64Range {
+    assert!(lo < hi && lo.is_finite() && hi.is_finite(), "bad f64 range [{lo}, {hi})");
+    F64Range { lo, hi }
+}
+
+impl F64Range {
+    fn origin(&self) -> f64 {
+        0.0f64.clamp(self.lo, self.hi - (self.hi - self.lo) * 1e-9)
+    }
+}
+
+impl Gen for F64Range {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.uniform_in(self.lo, self.hi)
+    }
+
+    fn shrink(&self, &value: &f64) -> Vec<f64> {
+        let origin = self.origin();
+        if value == origin {
+            return Vec::new();
+        }
+        let mid = origin + (value - origin) / 2.0;
+        let mut out = vec![origin];
+        if mid != value && mid != origin {
+            out.push(mid);
+        }
+        out
+    }
+}
+
+/// Uniform `f32` in `[lo, hi)`; shrinks toward the in-range point nearest 0.
+#[derive(Debug, Clone)]
+pub struct F32Range {
+    inner: F64Range,
+}
+
+/// Uniform `f32` in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if the range is empty or not finite.
+#[must_use]
+pub fn range_f32(lo: f32, hi: f32) -> F32Range {
+    F32Range { inner: range(f64::from(lo), f64::from(hi)) }
+}
+
+impl Gen for F32Range {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.inner.generate(rng) as f32
+    }
+
+    fn shrink(&self, &value: &f32) -> Vec<f32> {
+        self.inner
+            .shrink(&f64::from(value))
+            .into_iter()
+            .map(|v| v as f32)
+            .filter(|&v| v != value)
+            .collect()
+    }
+}
+
+/// Uniform `usize` in `[lo, hi)`; shrinks toward `lo`.
+#[derive(Debug, Clone)]
+pub struct UsizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+/// Uniform `usize` in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+#[must_use]
+pub fn ints(lo: usize, hi: usize) -> UsizeRange {
+    assert!(lo < hi, "bad usize range [{lo}, {hi})");
+    UsizeRange { lo, hi }
+}
+
+impl Gen for UsizeRange {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        self.lo + rng.index(self.hi - self.lo)
+    }
+
+    fn shrink(&self, &value: &usize) -> Vec<usize> {
+        if value == self.lo {
+            return Vec::new();
+        }
+        let mid = self.lo + (value - self.lo) / 2;
+        let mut out = vec![self.lo];
+        if mid != self.lo && mid != value {
+            out.push(mid);
+        }
+        if value - 1 != mid && value - 1 != self.lo {
+            out.push(value - 1);
+        }
+        out
+    }
+}
+
+/// Uniform `u64` over the full domain; shrinks toward 0.
+#[derive(Debug, Clone)]
+pub struct U64Range {
+    lo: u64,
+    hi: u64,
+}
+
+/// Uniform `u64` in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+#[must_use]
+pub fn ints_u64(lo: u64, hi: u64) -> U64Range {
+    assert!(lo < hi, "bad u64 range [{lo}, {hi})");
+    U64Range { lo, hi }
+}
+
+impl Gen for U64Range {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        // Ranges here are far below 2^53 in practice; go through index when
+        // the span fits a usize, otherwise take raw bits modulo the span.
+        let span = self.hi - self.lo;
+        if let Ok(span_us) = usize::try_from(span) {
+            self.lo + rng.index(span_us) as u64
+        } else {
+            self.lo + rng.next_u64() % span
+        }
+    }
+
+    fn shrink(&self, &value: &u64) -> Vec<u64> {
+        if value == self.lo {
+            return Vec::new();
+        }
+        let mid = self.lo + (value - self.lo) / 2;
+        let mut out = vec![self.lo];
+        if mid != self.lo && mid != value {
+            out.push(mid);
+        }
+        out
+    }
+}
+
+/// Fair coin; shrinks `true` to `false`.
+#[derive(Debug, Clone)]
+pub struct BoolGen;
+
+/// Fair coin flip.
+#[must_use]
+pub fn bools() -> BoolGen {
+    BoolGen
+}
+
+impl Gen for BoolGen {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+
+    fn shrink(&self, &value: &bool) -> Vec<bool> {
+        if value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// A constant generator (never shrinks).
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+/// Always yields `value`.
+#[must_use]
+pub fn just<T: Clone + Debug>(value: T) -> Just<T> {
+    Just(value)
+}
+
+impl<T: Clone + Debug> Gen for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collection generators
+// ---------------------------------------------------------------------------
+
+/// Vector of values from an element generator, with a length range.
+///
+/// Shrinks by truncating (halving, then dropping one) down to the minimum
+/// length, then by shrinking individual elements front to back.
+#[derive(Debug, Clone)]
+pub struct VecGen<G> {
+    elem: G,
+    min_len: usize,
+    max_len: usize,
+}
+
+/// Vector of `len ∈ [min_len, max_len)` values drawn from `elem`.
+///
+/// # Panics
+///
+/// Panics if the length range is empty.
+#[must_use]
+pub fn vecs<G: Gen>(elem: G, min_len: usize, max_len: usize) -> VecGen<G> {
+    assert!(min_len < max_len, "bad length range [{min_len}, {max_len})");
+    VecGen { elem, min_len, max_len }
+}
+
+impl<G: Gen> Gen for VecGen<G> {
+    type Value = Vec<G::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<G::Value> {
+        let len = self.min_len + rng.index(self.max_len - self.min_len);
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<G::Value>) -> Vec<Vec<G::Value>> {
+        let mut out = Vec::new();
+        // Structural shrinks: shorter vectors first.
+        if value.len() > self.min_len {
+            let half = (value.len() / 2).max(self.min_len);
+            if half < value.len() {
+                out.push(value[..half].to_vec());
+            }
+            out.push(value[..value.len() - 1].to_vec());
+        }
+        // Element shrinks: first shrinkable element only (greedy).
+        for (i, v) in value.iter().enumerate() {
+            let elem_shrinks = self.elem.shrink(v);
+            if !elem_shrinks.is_empty() {
+                for s in elem_shrinks {
+                    let mut copy = value.clone();
+                    copy[i] = s;
+                    out.push(copy);
+                }
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// Sorted vector of distinct indices drawn from `0..n` (any subset size,
+/// including empty). Shrinks by dropping elements.
+#[derive(Debug, Clone)]
+pub struct SubsetGen {
+    n: usize,
+}
+
+/// Random sorted subset of `0..n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn subsets(n: usize) -> SubsetGen {
+    assert!(n > 0, "subset domain must be nonempty");
+    SubsetGen { n }
+}
+
+impl Gen for SubsetGen {
+    type Value = Vec<usize>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<usize> {
+        // Include each index with a random per-case density so both sparse
+        // and dense subsets appear.
+        let density = rng.uniform();
+        (0..self.n).filter(|_| rng.bernoulli(density)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<usize>) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        if value.is_empty() {
+            return out;
+        }
+        out.push(Vec::new());
+        if value.len() > 1 {
+            out.push(value[..value.len() / 2].to_vec());
+            out.push(value[value.len() / 2..].to_vec());
+            out.push(value[..value.len() - 1].to_vec());
+            out.push(value[1..].to_vec());
+        }
+        out
+    }
+}
+
+/// A generated dense matrix: row-major `f64` data with explicit dimensions.
+///
+/// The testkit cannot depend on `elsa-linalg` (which depends back on the
+/// testkit), so matrix generation produces this neutral struct; convert with
+/// `Matrix::from_fn(m.rows, m.cols, |r, c| m.at(r, c) as f32)` or similar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenMatrix {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major element data, `rows * cols` long.
+    pub data: Vec<f64>,
+}
+
+impl GenMatrix {
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "({r},{c}) out of {}x{}", self.rows, self.cols);
+        self.data[r * self.cols + c]
+    }
+}
+
+/// Matrices with dimensions drawn from ranges and elements from a scalar
+/// generator. Shrinks by halving rows, then columns, then shrinking the
+/// first shrinkable element.
+#[derive(Debug, Clone)]
+pub struct MatrixGen<G> {
+    rows: UsizeRange,
+    cols: UsizeRange,
+    elem: G,
+}
+
+/// Matrix generator over `[min_rows, max_rows) × [min_cols, max_cols)`.
+#[must_use]
+pub fn matrices<G: Gen<Value = f64>>(
+    rows: UsizeRange,
+    cols: UsizeRange,
+    elem: G,
+) -> MatrixGen<G> {
+    MatrixGen { rows, cols, elem }
+}
+
+impl<G: Gen<Value = f64>> Gen for MatrixGen<G> {
+    type Value = GenMatrix;
+
+    fn generate(&self, rng: &mut TestRng) -> GenMatrix {
+        let rows = self.rows.generate(rng);
+        let cols = self.cols.generate(rng);
+        let data = (0..rows * cols).map(|_| self.elem.generate(rng)).collect();
+        GenMatrix { rows, cols, data }
+    }
+
+    fn shrink(&self, value: &GenMatrix) -> Vec<GenMatrix> {
+        let mut out = Vec::new();
+        for rows in self.rows.shrink(&value.rows) {
+            out.push(GenMatrix {
+                rows,
+                cols: value.cols,
+                data: value.data[..rows * value.cols].to_vec(),
+            });
+        }
+        for cols in self.cols.shrink(&value.cols) {
+            let mut data = Vec::with_capacity(value.rows * cols);
+            for r in 0..value.rows {
+                data.extend_from_slice(&value.data[r * value.cols..r * value.cols + cols]);
+            }
+            out.push(GenMatrix { rows: value.rows, cols, data });
+        }
+        for (i, v) in value.data.iter().enumerate() {
+            let elem_shrinks = self.elem.shrink(v);
+            if !elem_shrinks.is_empty() {
+                for s in elem_shrinks {
+                    let mut copy = value.clone();
+                    copy.data[i] = s;
+                    out.push(copy);
+                }
+                break;
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuple generators
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_gen_for_tuple {
+    ( $( $g:ident : $idx:tt ),+ ) => {
+        impl<$( $g: Gen ),+> Gen for ( $( $g, )+ ) {
+            type Value = ( $( $g::Value, )+ );
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ( $( self.$idx.generate(rng), )+ )
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for s in self.$idx.shrink(&value.$idx) {
+                        let mut copy = value.clone();
+                        copy.$idx = s;
+                        out.push(copy);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+impl_gen_for_tuple!(A: 0);
+impl_gen_for_tuple!(A: 0, B: 1);
+impl_gen_for_tuple!(A: 0, B: 1, C: 2);
+impl_gen_for_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Defines `#[test]` functions that check properties over generated inputs.
+///
+/// ```
+/// use elsa_testkit::prelude::*;
+///
+/// props! {
+///     config: Config::with_cases(64);
+///
+///     fn addition_commutes(a in range(-1e6, 1e6), b in range(-1e6, 1e6)) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// # fn main() {}
+/// ```
+#[macro_export]
+macro_rules! props {
+    (
+        config: $config:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $( $arg:ident in $gen:expr ),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let __config = $config;
+                let __gen = ( $( $gen, )+ );
+                $crate::prop::check(stringify!($name), &__config, &__gen, |__case| {
+                    let ( $( $arg, )+ ) = ::std::clone::Clone::clone(__case);
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                });
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property; on failure the case is reported
+/// (with its reproducing seed) and shrunk.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::prop::CaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            __a == __b,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), __a, __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(__a == __b, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            __a != __b,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($a), stringify!($b), __a
+        );
+    }};
+}
+
+/// Discards the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::prop::CaseError::Discard);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counter = std::cell::Cell::new(0u32);
+        check("always_true", &Config::with_cases(100), &range(0.0, 1.0), |_| {
+            counter.set(counter.get() + 1);
+            Ok(())
+        });
+        assert_eq!(counter.get(), 100);
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let gen = (range(-5.0, 5.0), ints(0, 100));
+        let mut a = TestRng::new(77);
+        let mut b = TestRng::new(77);
+        for _ in 0..50 {
+            assert_eq!(gen.generate(&mut a), gen.generate(&mut b));
+        }
+    }
+
+    #[test]
+    fn failure_panics_with_seed_and_shrunk_input() {
+        let result = std::panic::catch_unwind(|| {
+            check("gt_ten_fails", &Config::with_cases(64), &range(0.0, 100.0), |&v| {
+                if v >= 10.0 {
+                    Err(CaseError::Fail(format!("{v} >= 10")))
+                } else {
+                    Ok(())
+                }
+            });
+        });
+        let msg = *result.expect_err("property must fail").downcast::<String>().unwrap();
+        assert!(msg.contains("gt_ten_fails"), "{msg}");
+        assert!(msg.contains("ELSA_TESTKIT_SEED="), "{msg}");
+        assert!(msg.contains("shrunk input"), "{msg}");
+    }
+
+    #[test]
+    fn scalar_shrink_reaches_boundary() {
+        // The minimal failing input for v >= 10 over [0, 100) is 10 itself;
+        // greedy bisection toward 0 must land within one ulp-scale hop of it.
+        let result = std::panic::catch_unwind(|| {
+            check("boundary", &Config::with_cases(16), &range(0.0, 100.0), |&v| {
+                if v >= 10.0 {
+                    Err(CaseError::Fail("too big".into()))
+                } else {
+                    Ok(())
+                }
+            });
+        });
+        let msg = *result.expect_err("must fail").downcast::<String>().unwrap();
+        let shrunk: f64 = msg
+            .lines()
+            .find(|l| l.contains("shrunk input"))
+            .and_then(|l| l.rsplit(':').next())
+            .and_then(|v| v.trim().parse().ok())
+            .expect("shrunk value parses");
+        assert!((10.0..=20.0).contains(&shrunk), "shrunk to {shrunk}: {msg}");
+    }
+
+    #[test]
+    fn vec_shrink_reduces_length_to_minimum() {
+        let gen = vecs(range(0.0, 1.0), 1, 64);
+        let long: Vec<f64> = vec![0.5; 40];
+        let shrinks = gen.shrink(&long);
+        assert!(shrinks.iter().any(|s| s.len() < long.len()));
+        assert!(shrinks.iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn subset_shrinks_propose_smaller_subsets() {
+        let gen = subsets(32);
+        let value = vec![1, 5, 9, 20];
+        let shrinks = gen.shrink(&value);
+        assert!(shrinks.contains(&Vec::new()));
+        assert!(shrinks.iter().all(|s| s.len() < value.len() || s.is_empty()));
+    }
+
+    #[test]
+    fn discard_limit_enforced() {
+        let result = std::panic::catch_unwind(|| {
+            check("all_discarded", &Config::with_cases(8), &range(0.0, 1.0), |_| {
+                Err(CaseError::Discard)
+            });
+        });
+        let msg = *result.expect_err("must give up").downcast::<String>().unwrap();
+        assert!(msg.contains("discarded"), "{msg}");
+    }
+
+    #[test]
+    fn matrix_generator_respects_dims() {
+        let gen = matrices(ints(1, 8), ints(1, 8), range(-1.0, 1.0));
+        let mut rng = TestRng::new(9);
+        for _ in 0..100 {
+            let m = gen.generate(&mut rng);
+            assert_eq!(m.data.len(), m.rows * m.cols);
+            assert!((1..8).contains(&m.rows) && (1..8).contains(&m.cols));
+        }
+    }
+
+    props! {
+        config: Config::with_cases(32);
+
+        fn props_macro_smoke(a in range(-10.0, 10.0), flag in bools()) {
+            prop_assume!(a.is_finite());
+            let doubled = a * 2.0;
+            prop_assert!((doubled - 2.0 * a).abs() < 1e-12);
+            if flag {
+                prop_assert_ne!(doubled + 1.0, doubled);
+            }
+        }
+
+        fn props_macro_single_arg(v in ints(0, 50)) {
+            prop_assert!(v < 50);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate, fully offline.
+#
+# 1. cargo build --release --offline  +  cargo test -q --offline (tier-1)
+# 2. workspace-wide unit tests and bench smoke runs
+# 3. dependency guard: every [dependencies]/[dev-dependencies] entry in every
+#    Cargo.toml must be an in-tree path dependency (directly or via
+#    workspace = true); anything resolving to crates.io fails the gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> tier-1: cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> workspace tests (all crates)"
+cargo test -q --offline --workspace
+
+echo "==> bench smoke runs (each benchmark body once)"
+cargo test -q --offline --workspace --benches
+
+echo "==> dependency guard: no external (non-path) dependencies"
+# The cargo metadata view is authoritative: any package in the resolved graph
+# with a non-null `source` came from a registry, not from this tree.
+external=$(cargo metadata --format-version 1 --offline --no-deps 2>/dev/null \
+  | python3 -c '
+import json, sys
+meta = json.load(sys.stdin)
+bad = set()
+for pkg in meta["packages"]:
+    for dep in pkg["dependencies"]:
+        if dep["path"] is None:
+            bad.add(pkg["name"] + " -> " + dep["name"])
+print("\n".join(sorted(bad)))
+')
+if [ -n "$external" ]; then
+  echo "FAIL: external dependencies declared:" >&2
+  echo "$external" >&2
+  exit 1
+fi
+
+# Belt and braces: parse every manifest and flag any dependency entry that is
+# neither an in-tree `path` dependency nor a `workspace = true` inheritance of
+# one (workspace-level entries are themselves checked for `path`). This
+# catches a registry dep even when a populated local cache lets it build.
+manifest_hits=$(python3 - <<'PY'
+import glob
+import tomllib
+
+DEP_TABLES = ("dependencies", "dev-dependencies", "build-dependencies")
+
+def local(entry):
+    return isinstance(entry, dict) and ("path" in entry or entry.get("workspace") is True)
+
+for manifest in ["Cargo.toml", *sorted(glob.glob("crates/*/Cargo.toml"))]:
+    with open(manifest, "rb") as f:
+        doc = tomllib.load(f)
+    tables = [(t, doc.get(t, {})) for t in DEP_TABLES]
+    tables.append(("workspace.dependencies", doc.get("workspace", {}).get("dependencies", {})))
+    for table, deps in tables:
+        for name, entry in deps.items():
+            if not local(entry):
+                print(manifest + ": [" + table + "] " + name)
+PY
+)
+if [ -n "$manifest_hits" ]; then
+  echo "FAIL: non-path dependency declarations found:" >&2
+  echo "$manifest_hits" >&2
+  exit 1
+fi
+
+echo "OK: tier-1 green, workspace green, zero external dependencies"

@@ -1,5 +1,10 @@
-//! Property-based tests over the hardware simulator, scheduler, and
-//! sparse-attention baselines.
+//! Property-based tests (elsa-testkit) over the hardware simulator,
+//! scheduler, and sparse-attention baselines.
+//!
+//! Ported from the original proptest suite; every invariant is preserved.
+//! The `candidate_positions` strategy (a random `BTreeSet` of bank slots)
+//! becomes `subsets(bank_keys)`, which likewise yields sorted distinct
+//! positions at varying densities.
 
 use elsa::linalg::SeededRng;
 use elsa::runtime::{BatchScheduler, SchedulePolicy};
@@ -10,19 +15,13 @@ use elsa::sim::cycle::{
 };
 use elsa::sim::AcceleratorConfig;
 use elsa::sparse::SegmentedAttention;
-use proptest::prelude::*;
+use elsa_testkit::prelude::*;
 
-/// Strategy: a sorted set of distinct candidate positions within a bank.
-fn candidate_positions(bank_keys: usize) -> impl Strategy<Value = Vec<usize>> {
-    prop::collection::btree_set(0..bank_keys, 0..bank_keys).prop_map(|s| s.into_iter().collect())
-}
+props! {
+    config: Config::with_cases(48);
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
     fn detailed_arbiter_with_deep_queues_matches_coarse_model(
-        positions in candidate_positions(128),
+        positions in subsets(128),
     ) {
         let coarse = simulate_bank_drain(8, 128, &positions);
         let detailed = simulate_bank_drain_queued(
@@ -36,10 +35,9 @@ proptest! {
         prop_assert_eq!(detailed.stall_cycles, 0);
     }
 
-    #[test]
     fn shallow_queues_never_finish_earlier(
-        positions in candidate_positions(128),
-        depth in 1usize..4,
+        positions in subsets(128),
+        depth in ints(1, 4),
     ) {
         let deep = simulate_bank_drain_queued(8, 128, &positions, 1 << 16, ArbiterPolicy::LongestQueueFirst);
         let shallow = simulate_bank_drain_queued(8, 128, &positions, depth, ArbiterPolicy::LongestQueueFirst);
@@ -48,10 +46,9 @@ proptest! {
         prop_assert!(shallow.finish_cycle <= (16 + positions.len() + 8) as u64 * 2);
     }
 
-    #[test]
     fn execution_respects_closed_form_bound(
-        seed in 0u64..10_000,
-        count in 1usize..256,
+        seed in ints_u64(0, 10_000),
+        count in ints(1, 256),
     ) {
         let cfg = AcceleratorConfig::paper();
         let n = 512;
@@ -68,11 +65,10 @@ proptest! {
         prop_assert!(report.per_query[0] <= bound + cfg.scan_cycles(n));
     }
 
-    #[test]
     fn energy_monotone_in_candidate_count(
-        seed in 0u64..1000,
-        c_small in 1usize..100,
-        extra in 1usize..100,
+        seed in ints_u64(0, 1000),
+        c_small in ints(1, 100),
+        extra in ints(1, 100),
     ) {
         let cfg = AcceleratorConfig::paper();
         let n = 512;
@@ -88,10 +84,9 @@ proptest! {
         prop_assert!(e_large.total_j() >= e_small.total_j());
     }
 
-    #[test]
     fn scheduler_makespan_bounds(
-        jobs in prop::collection::vec(0.001f64..10.0, 1..40),
-        accels in 1usize..16,
+        jobs in vecs(range(0.001, 10.0), 1, 40),
+        accels in ints(1, 16),
     ) {
         let scheduler = BatchScheduler::new(accels, 0.0, SchedulePolicy::LongestFirst);
         let schedule = scheduler.schedule(&jobs);
@@ -107,10 +102,9 @@ proptest! {
         prop_assert!((assigned - total).abs() < 1e-9);
     }
 
-    #[test]
     fn segmented_candidates_partition_consistently(
-        n in 2usize..200,
-        seg_len in 1usize..64,
+        n in ints(2, 200),
+        seg_len in ints(1, 64),
     ) {
         let seg = SegmentedAttention::new(seg_len);
         for i in 0..n {
@@ -133,8 +127,7 @@ proptest! {
         prop_assert_eq!(covered, n);
     }
 
-    #[test]
-    fn preprocessing_formula_holds(n in 1usize..2048, m_h in 1usize..512) {
+    fn preprocessing_formula_holds(n in ints(1, 2048), m_h in ints(1, 512)) {
         let cfg = AcceleratorConfig {
             m_h,
             n_max: 2048,
