@@ -127,10 +127,18 @@ pub fn scaled_attention(inputs: &AttentionInputs) -> Matrix {
 #[must_use]
 pub fn attention_with_scale(inputs: &AttentionInputs, scale: f32) -> Matrix {
     let mut scores = attention_scores(inputs, scale);
-    for r in 0..scores.rows() {
-        ops::softmax_in_place(scores.row_mut(r));
-    }
+    softmax_rows(&mut scores);
     scores.matmul(inputs.value())
+}
+
+/// Row-wise in-place softmax, fanned out across rows when the matrix is
+/// large enough to pay for it. Each row is normalized by the same serial
+/// kernel, so results are bit-identical at any worker count.
+fn softmax_rows(scores: &mut Matrix) {
+    // exp dominates per-element cost; weight it so mid-sized score matrices
+    // cross the parallel threshold.
+    let work = scores.rows().saturating_mul(scores.cols()).saturating_mul(8);
+    scores.par_rows_mut(work, |_, row| ops::softmax_in_place(row));
 }
 
 /// The row-wise softmax-normalized score matrix `S′` (kept separate because
@@ -138,9 +146,7 @@ pub fn attention_with_scale(inputs: &AttentionInputs, scale: f32) -> Matrix {
 #[must_use]
 pub fn normalized_scores(inputs: &AttentionInputs, scale: f32) -> Matrix {
     let mut scores = attention_scores(inputs, scale);
-    for r in 0..scores.rows() {
-        ops::softmax_in_place(scores.row_mut(r));
-    }
+    softmax_rows(&mut scores);
     scores
 }
 
@@ -171,9 +177,15 @@ pub fn attention_with_candidates(
     let n = inputs.num_keys();
     let dv = inputs.value().cols();
     let mut out = Matrix::zeros(inputs.num_queries(), dv);
-    for (i, cand) in candidates.iter().enumerate() {
+    // Per-query rows are independent; fan them out when the total candidate
+    // volume is large. Each row's computation is the unchanged serial kernel,
+    // so the result is bit-identical at any worker count.
+    let total_cands: usize = candidates.iter().map(Vec::len).sum();
+    let work = total_cands.saturating_mul(inputs.dim() + dv);
+    out.par_rows_mut(work, |i, row| {
+        let cand = &candidates[i];
         if cand.is_empty() {
-            continue;
+            return;
         }
         let q = inputs.query().row(i);
         // ① dot products for candidate keys only.
@@ -187,11 +199,10 @@ pub fn attention_with_candidates(
         // ② softmax over the candidate subset.
         let weights = ops::softmax(&scores);
         // ③ weighted sum of candidate value rows.
-        let row = out.row_mut(i);
         for (&j, &w) in cand.iter().zip(&weights) {
             ops::axpy(w, inputs.value().row(j), row);
         }
-    }
+    });
     out
 }
 

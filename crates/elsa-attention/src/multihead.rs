@@ -125,14 +125,44 @@ impl MultiHeadAttention {
     }
 
     /// Full forward pass: per-head scaled attention, concatenation, output
-    /// projection.
+    /// projection. Heads fan out across worker threads when the block is
+    /// large enough (see [`Self::forward_par`]).
     #[must_use]
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        self.forward_with(x, exact::scaled_attention)
+        self.forward_par(x, exact::scaled_attention)
+    }
+
+    /// Forward pass with a thread-safe attention kernel: heads are computed
+    /// independently (in parallel when beneficial), then concatenated in head
+    /// order. Because every head's computation is the unchanged serial kernel
+    /// and the concatenation order is fixed, the output is bit-identical to
+    /// the serial [`Self::forward_with`] at any worker count.
+    #[must_use]
+    pub fn forward_par(
+        &self,
+        x: &Matrix,
+        kernel: impl Fn(&AttentionInputs) -> Matrix + Sync,
+    ) -> Matrix {
+        let n = x.rows();
+        // Projection cost per head: three n×d_model×d_head matmuls.
+        let work = self
+            .num_heads
+            .saturating_mul(3 * n)
+            .saturating_mul(self.d_model)
+            .saturating_mul(self.d_head);
+        let head_outs: Vec<Matrix> = if self.num_heads > 1 && elsa_parallel::beneficial(work) {
+            elsa_parallel::par_map_indexed(self.num_heads, |h| kernel(&self.project_head(x, h)))
+        } else {
+            (0..self.num_heads).map(|h| kernel(&self.project_head(x, h))).collect()
+        };
+        self.concat_and_project(n, &head_outs)
     }
 
     /// Forward pass with a caller-supplied attention kernel (exact,
     /// approximate, or hardware-simulated) — the seam where ELSA plugs in.
+    /// Accepts stateful (`FnMut`) kernels and therefore always runs heads
+    /// serially, in head order; use [`Self::forward_par`] for thread-safe
+    /// kernels.
     #[must_use]
     pub fn forward_with(
         &self,
@@ -140,10 +170,15 @@ impl MultiHeadAttention {
         mut kernel: impl FnMut(&AttentionInputs) -> Matrix,
     ) -> Matrix {
         let n = x.rows();
+        let head_outs: Vec<Matrix> =
+            (0..self.num_heads).map(|h| kernel(&self.project_head(x, h))).collect();
+        self.concat_and_project(n, &head_outs)
+    }
+
+    /// Concatenates per-head outputs (head order) and applies `W_O`.
+    fn concat_and_project(&self, n: usize, head_outs: &[Matrix]) -> Matrix {
         let mut concat = Matrix::zeros(n, self.d_model);
-        for h in 0..self.num_heads {
-            let inputs = self.project_head(x, h);
-            let head_out = kernel(&inputs);
+        for (h, head_out) in head_outs.iter().enumerate() {
             for r in 0..n {
                 let dst = concat.row_mut(r);
                 dst[h * self.d_head..(h + 1) * self.d_head].copy_from_slice(head_out.row(r));

@@ -1,0 +1,63 @@
+//! Serial vs parallel attention-pipeline micro-benchmarks.
+//!
+//! Compares the same computation pinned to one worker
+//! (`elsa_parallel::with_threads(1, ..)`) against four workers, for the
+//! exact attention kernel and the full ELSA approximate pipeline at
+//! n ∈ {128, 512, 2048}. The committed baseline numbers live in
+//! `BENCH_parallel.json` at the repo root, captured by the
+//! `bench_parallel` binary (see EXPERIMENTS.md §E-PAR).
+//!
+//! Runs on the `elsa-testkit` bench harness: `cargo bench` measures,
+//! `cargo test --benches` smoke-runs every benchmark once.
+
+use elsa_attention::exact::{self, AttentionInputs};
+use elsa_core::attention::{ElsaAttention, ElsaParams};
+use elsa_linalg::{Matrix, SeededRng};
+use elsa_testkit::bench::{Bench, BenchmarkId};
+
+const D: usize = 64;
+const PARALLEL_WORKERS: usize = 4;
+
+fn random_inputs(n: usize, seed: u64) -> AttentionInputs {
+    let mut rng = SeededRng::new(seed);
+    let mk = |rng: &mut SeededRng| Matrix::from_fn(n, D, |_, _| rng.standard_normal() as f32);
+    AttentionInputs::new(mk(&mut rng), mk(&mut rng), mk(&mut rng))
+}
+
+fn bench_parallel_pipeline(c: &mut Bench) {
+    let mut group = c.benchmark_group("exact_attention");
+    group.sample_size(10);
+    for &n in &[128usize, 512, 2048] {
+        let inputs = random_inputs(n, 11);
+        group.bench_with_input(BenchmarkId::new("serial", n), &inputs, |b, inputs| {
+            b.iter(|| elsa_parallel::with_threads(1, || exact::scaled_attention(inputs)));
+        });
+        group.bench_with_input(BenchmarkId::new("par4", n), &inputs, |b, inputs| {
+            b.iter(|| {
+                elsa_parallel::with_threads(PARALLEL_WORKERS, || exact::scaled_attention(inputs))
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("elsa_pipeline");
+    group.sample_size(10);
+    let operator = ElsaAttention::with_threshold(
+        ElsaParams::for_dims(D, D, &mut SeededRng::new(12)),
+        0.3,
+    );
+    for &n in &[128usize, 512, 2048] {
+        let inputs = random_inputs(n, 13);
+        group.bench_with_input(BenchmarkId::new("serial", n), &inputs, |b, inputs| {
+            b.iter(|| elsa_parallel::with_threads(1, || operator.forward(inputs)));
+        });
+        group.bench_with_input(BenchmarkId::new("par4", n), &inputs, |b, inputs| {
+            b.iter(|| {
+                elsa_parallel::with_threads(PARALLEL_WORKERS, || operator.forward(inputs))
+            });
+        });
+    }
+    group.finish();
+}
+
+elsa_testkit::bench_main!(bench_parallel_pipeline);

@@ -1,0 +1,120 @@
+//! **E-PAR** — serial vs parallel attention-pipeline baseline, emitted as
+//! JSON for the committed `BENCH_parallel.json` at the repo root.
+//!
+//! Capture: `cargo run --release -p elsa-bench --bin bench_parallel > BENCH_parallel.json`
+//!
+//! Measures the exact attention kernel and the full ELSA approximate
+//! pipeline (hash → candidate selection → candidate attention) at
+//! n ∈ {128, 512, 2048}, each pinned to one worker and then run at four
+//! workers via `elsa_parallel::with_threads`. Inputs are seeded, so the
+//! *computed values* are identical across runs and worker counts (that
+//! equivalence is separately enforced by `tests/parallel_equivalence.rs`);
+//! only the timings vary with the host.
+//!
+//! The emitted `host_cores` field records `available_parallelism()` at
+//! capture time: speedup from 4 workers requires ≥ 4 physical cores, and on
+//! a single-core host the parallel path can only measure its scheduling
+//! overhead (speedup ≤ 1).
+
+use std::time::Instant;
+
+use elsa_attention::exact::{self, AttentionInputs};
+use elsa_core::attention::{ElsaAttention, ElsaParams};
+use elsa_linalg::{Matrix, SeededRng};
+
+const D: usize = 64;
+const PARALLEL_WORKERS: usize = 4;
+const SIZES: [usize; 3] = [128, 512, 2048];
+
+fn random_inputs(n: usize, seed: u64) -> AttentionInputs {
+    let mut rng = SeededRng::new(seed);
+    let mk = |rng: &mut SeededRng| Matrix::from_fn(n, D, |_, _| rng.standard_normal() as f32);
+    AttentionInputs::new(mk(&mut rng), mk(&mut rng), mk(&mut rng))
+}
+
+/// Median wall-clock seconds of `samples` runs (after one warmup run).
+fn median_s(samples: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+struct Row {
+    kernel: &'static str,
+    n: usize,
+    serial_median_s: f64,
+    parallel_median_s: f64,
+}
+
+fn main() {
+    let host_cores = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    let mut rows: Vec<Row> = Vec::new();
+
+    for &n in &SIZES {
+        let samples = if n >= 2048 { 3 } else { 7 };
+        let inputs = random_inputs(n, 11);
+        let serial =
+            median_s(samples, || {
+                elsa_parallel::with_threads(1, || {
+                    std::hint::black_box(exact::scaled_attention(&inputs));
+                });
+            });
+        let parallel = median_s(samples, || {
+            elsa_parallel::with_threads(PARALLEL_WORKERS, || {
+                std::hint::black_box(exact::scaled_attention(&inputs));
+            });
+        });
+        rows.push(Row { kernel: "exact_attention", n, serial_median_s: serial, parallel_median_s: parallel });
+    }
+
+    let operator = ElsaAttention::with_threshold(
+        ElsaParams::for_dims(D, D, &mut SeededRng::new(12)),
+        0.3,
+    );
+    for &n in &SIZES {
+        let samples = if n >= 2048 { 3 } else { 7 };
+        let inputs = random_inputs(n, 13);
+        let serial = median_s(samples, || {
+            elsa_parallel::with_threads(1, || {
+                std::hint::black_box(operator.forward(&inputs));
+            });
+        });
+        let parallel = median_s(samples, || {
+            elsa_parallel::with_threads(PARALLEL_WORKERS, || {
+                std::hint::black_box(operator.forward(&inputs));
+            });
+        });
+        rows.push(Row { kernel: "elsa_pipeline", n, serial_median_s: serial, parallel_median_s: parallel });
+    }
+
+    println!("{{");
+    println!("  \"bench\": \"parallel_attention_pipeline\",");
+    println!(
+        "  \"capture_command\": \"cargo run --release -p elsa-bench --bin bench_parallel > BENCH_parallel.json\","
+    );
+    println!("  \"d\": {D},");
+    println!("  \"parallel_workers\": {PARALLEL_WORKERS},");
+    println!("  \"host_cores\": {host_cores},");
+    println!(
+        "  \"note\": \"speedup = serial_median_s / parallel_median_s; values are bit-identical across worker counts (tests/parallel_equivalence.rs), so only timing differs. A >= 2x speedup at 4 workers requires a host with >= 4 cores; on host_cores < 4 the parallel column measures scheduling overhead instead.\","
+    );
+    println!("  \"results\": [");
+    let last = rows.len() - 1;
+    for (i, r) in rows.iter().enumerate() {
+        let speedup = r.serial_median_s / r.parallel_median_s;
+        let comma = if i == last { "" } else { "," };
+        println!(
+            "    {{ \"kernel\": \"{}\", \"n\": {}, \"serial_median_s\": {:.6}, \"parallel_median_s\": {:.6}, \"speedup\": {:.3} }}{comma}",
+            r.kernel, r.n, r.serial_median_s, r.parallel_median_s, speedup
+        );
+    }
+    println!("  ]");
+    println!("}}");
+}

@@ -257,6 +257,12 @@ impl ElsaAttention {
     }
 
     /// Computes candidate lists for every query of an invocation.
+    ///
+    /// Queries are independent, so hashing + selection fans out across worker
+    /// threads when the invocation is large enough; per-query results are
+    /// collected in query order and the statistics are folded serially in
+    /// that same order, so both outputs are bit-identical to the serial loop
+    /// at any worker count.
     #[must_use]
     pub fn candidates(&self, inputs: &AttentionInputs) -> (Vec<Vec<usize>>, SelectionStats) {
         let pre = PreprocessedKeys::compute(&self.params, inputs.key());
@@ -266,10 +272,21 @@ impl ElsaAttention {
             num_keys: inputs.num_keys(),
             ..SelectionStats::default()
         };
-        let mut all = Vec::with_capacity(inputs.num_queries());
-        for i in 0..inputs.num_queries() {
+        // Per query: one hash (multiplication_count multiplies) plus one
+        // LUT-backed similarity comparison per key.
+        let per_query = self.params.hasher.multiplication_count() + inputs.num_keys();
+        let work = inputs.num_queries().saturating_mul(per_query);
+        let select_one = |i: usize| {
             let qh = self.params.hasher.hash(inputs.query().row(i));
-            let (cand, fallback) = self.select_candidates(&qh, &pre);
+            self.select_candidates(&qh, &pre)
+        };
+        let per_query_results: Vec<(Vec<usize>, bool)> = if elsa_parallel::beneficial(work) {
+            elsa_parallel::par_map_indexed(inputs.num_queries(), select_one)
+        } else {
+            (0..inputs.num_queries()).map(select_one).collect()
+        };
+        let mut all = Vec::with_capacity(inputs.num_queries());
+        for (cand, fallback) in per_query_results {
             stats.selected_pairs += cand.len();
             stats.fallback_queries += usize::from(fallback);
             all.push(cand);

@@ -274,9 +274,19 @@ impl SrpHasher {
     }
 
     /// Hashes every row of a matrix (all keys, or all queries).
+    ///
+    /// Rows fan out across worker threads when the total projection cost is
+    /// large enough; each row is hashed by the unchanged serial kernel and
+    /// results are collected in row order, so the output is bit-identical to
+    /// the serial loop at any worker count.
     #[must_use]
     pub fn hash_rows(&self, m: &Matrix) -> Vec<BinaryHash> {
-        (0..m.rows()).map(|r| self.hash(m.row(r))).collect()
+        let work = m.rows().saturating_mul(self.multiplication_count());
+        if elsa_parallel::beneficial(work) {
+            elsa_parallel::par_map_indexed(m.rows(), |r| self.hash(m.row(r)))
+        } else {
+            (0..m.rows()).map(|r| self.hash(m.row(r))).collect()
+        }
     }
 
     /// The dense `k × d` projection matrix (materialized for Kronecker

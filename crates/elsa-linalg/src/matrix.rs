@@ -4,6 +4,11 @@
 //! `n ≤ 2048`, `d = 64`), so the implementation favours clarity and exact
 //! control over accumulation order (dot products accumulate in `f64`, which
 //! keeps the f32 substrate bit-stable across refactors) over blocking or SIMD.
+//!
+//! Large products are row-partitioned over `elsa-parallel` workers: each
+//! output row is computed by the unchanged serial inner loops, so parallel
+//! results are bit-identical to serial ones for every worker count (and
+//! `ELSA_THREADS=1` never spawns a thread).
 
 use std::fmt;
 use std::ops::{Index, IndexMut};
@@ -163,14 +168,25 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
+        if out.data.is_empty() {
+            return out;
+        }
+        let work = self.rows.saturating_mul(self.cols).saturating_mul(other.cols);
+        let compute_row = |i: usize, row_out: &mut [f32]| {
             let lhs = self.row(i);
-            for j in 0..other.cols {
+            for (j, slot) in row_out.iter_mut().enumerate() {
                 let mut acc = 0.0f64;
                 for (k, &l) in lhs.iter().enumerate() {
                     acc += f64::from(l) * f64::from(other[(k, j)]);
                 }
-                out[(i, j)] = acc as f32;
+                *slot = acc as f32;
+            }
+        };
+        if elsa_parallel::beneficial(work) {
+            elsa_parallel::par_chunks_mut(&mut out.data, other.cols, compute_row);
+        } else {
+            for (i, row_out) in out.data.chunks_mut(other.cols).enumerate() {
+                compute_row(i, row_out);
             }
         }
         out
@@ -194,13 +210,45 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
+        if out.data.is_empty() {
+            return out;
+        }
+        let work = self.rows.saturating_mul(self.cols).saturating_mul(other.rows);
+        let compute_row = |i: usize, row_out: &mut [f32]| {
             let lhs = self.row(i);
-            for j in 0..other.rows {
-                out[(i, j)] = ops::dot(lhs, other.row(j)) as f32;
+            for (j, slot) in row_out.iter_mut().enumerate() {
+                *slot = ops::dot(lhs, other.row(j)) as f32;
+            }
+        };
+        if elsa_parallel::beneficial(work) {
+            elsa_parallel::par_chunks_mut(&mut out.data, other.rows, compute_row);
+        } else {
+            for (i, row_out) in out.data.chunks_mut(other.rows).enumerate() {
+                compute_row(i, row_out);
             }
         }
         out
+    }
+
+    /// Applies `f` to every row (`f(row_index, row)`), fanning rows out
+    /// across worker threads when `work_hint` clears
+    /// [`elsa_parallel::beneficial`]. Each row's computation is independent
+    /// and internally unchanged, so results are bit-identical to the serial
+    /// row-order loop regardless of worker count.
+    ///
+    /// `work_hint` is the caller's estimate of total scalar operations (rows
+    /// × cols × per-element cost); below the threshold the loop runs inline.
+    pub fn par_rows_mut(&mut self, work_hint: usize, f: impl Fn(usize, &mut [f32]) + Sync) {
+        if self.data.is_empty() {
+            return;
+        }
+        if elsa_parallel::beneficial(work_hint) {
+            elsa_parallel::par_chunks_mut(&mut self.data, self.cols, f);
+        } else {
+            for (i, row) in self.data.chunks_mut(self.cols).enumerate() {
+                f(i, row);
+            }
+        }
     }
 
     /// The transpose.

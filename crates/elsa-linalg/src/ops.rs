@@ -37,13 +37,17 @@ pub fn norm(v: &[f32]) -> f64 {
 /// Numerically-stable softmax: `exp(x_i - max) / Σ exp(x_j - max)`.
 ///
 /// Returns an empty vector for empty input. All-equal inputs produce the
-/// uniform distribution.
+/// uniform distribution — including an input that is entirely `-∞` (a fully
+/// masked score row), where the limit form `-∞ - -∞` would otherwise turn
+/// the whole output into NaN.
 ///
 /// # Examples
 ///
 /// ```
 /// let p = elsa_linalg::ops::softmax(&[0.0, 0.0]);
 /// assert_eq!(p, vec![0.5, 0.5]);
+/// let masked = elsa_linalg::ops::softmax(&[f32::NEG_INFINITY; 4]);
+/// assert_eq!(masked, vec![0.25; 4]);
 /// ```
 #[must_use]
 pub fn softmax(scores: &[f32]) -> Vec<f32> {
@@ -51,18 +55,26 @@ pub fn softmax(scores: &[f32]) -> Vec<f32> {
         return Vec::new();
     }
     let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        return vec![1.0 / scores.len() as f32; scores.len()];
+    }
     let exps: Vec<f64> = scores.iter().map(|&s| f64::from(s - max).exp()).collect();
     let sum: f64 = exps.iter().sum();
     exps.into_iter().map(|e| (e / sum) as f32).collect()
 }
 
 /// In-place softmax over a mutable slice (used by row-wise normalization in
-/// hot loops to avoid an allocation per row).
+/// hot loops to avoid an allocation per row). Same semantics as [`softmax`],
+/// including the uniform output for an all-`-∞` row.
 pub fn softmax_in_place(scores: &mut [f32]) {
     if scores.is_empty() {
         return;
     }
     let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        scores.fill(1.0 / scores.len() as f32);
+        return;
+    }
     let mut sum = 0.0f64;
     for s in scores.iter_mut() {
         let e = f64::from(*s - max).exp();
@@ -221,6 +233,34 @@ mod tests {
         assert!(softmax(&[]).is_empty());
         let mut empty: [f32; 0] = [];
         softmax_in_place(&mut empty);
+    }
+
+    #[test]
+    fn softmax_all_neg_infinity_is_uniform() {
+        // A fully masked row must not collapse into NaNs (inf · 0 in the
+        // normalization); the defined semantics is the uniform distribution.
+        let p = softmax(&[f32::NEG_INFINITY; 5]);
+        assert_eq!(p, vec![0.2; 5]);
+        let mut buf = [f32::NEG_INFINITY; 5];
+        softmax_in_place(&mut buf);
+        assert_eq!(buf, [0.2; 5]);
+    }
+
+    #[test]
+    fn softmax_single_element() {
+        assert_eq!(softmax(&[3.7]), vec![1.0]);
+        assert_eq!(softmax(&[f32::NEG_INFINITY]), vec![1.0]);
+        let mut one = [f32::NEG_INFINITY];
+        softmax_in_place(&mut one);
+        assert_eq!(one, [1.0]);
+    }
+
+    #[test]
+    fn softmax_partial_neg_infinity_masks_entries() {
+        // -inf entries get exactly zero mass; the rest renormalizes.
+        let p = softmax(&[0.0, f32::NEG_INFINITY, 0.0]);
+        assert_eq!(p[1], 0.0);
+        assert!((p[0] - 0.5).abs() < 1e-6 && (p[2] - 0.5).abs() < 1e-6);
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Stress and soak tests for the scoped pool: panic propagation through
+//! nested scopes, degenerate inputs, and task-churn soak runs.
+//!
+//! The full 10k-task churn is `#[ignore]`d by default (run with
+//! `cargo test -p elsa-parallel -- --ignored`); a 1k-task fast variant runs
+//! in tier-1.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use elsa_parallel::{par_chunks_mut, par_map_indexed, par_map_reduce, scope, with_threads};
+
+/// Deterministic per-task pseudo-work: a few dozen integer ops whose result
+/// depends only on the task index.
+fn churn_task(i: usize) -> u64 {
+    let mut h = i as u64 ^ 0x9E37_79B9_7F4A_7C15;
+    for _ in 0..32 {
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+    }
+    h
+}
+
+fn churn(tasks: usize, workers: usize) {
+    let serial: Vec<u64> = (0..tasks).map(churn_task).collect();
+    let parallel = with_threads(workers, || par_map_indexed(tasks, churn_task));
+    assert_eq!(parallel, serial, "churn mismatch at {tasks} tasks / {workers} workers");
+    let serial_sum = serial.iter().fold(0u64, |a, &b| a ^ b.rotate_left(7));
+    let parallel_sum = with_threads(workers, || {
+        par_map_reduce(tasks, churn_task, 0u64, |a, b| a ^ b.rotate_left(7))
+    });
+    assert_eq!(parallel_sum, serial_sum);
+}
+
+#[test]
+fn churn_1k_tasks_fast() {
+    for workers in [2, 4, 8] {
+        churn(1_000, workers);
+    }
+}
+
+#[test]
+#[ignore = "soak test: 10k tasks x several worker counts; run with --ignored"]
+fn churn_10k_tasks_soak() {
+    for workers in [2, 3, 4, 8, 16] {
+        for round in 0..10 {
+            churn(10_000 + round, workers);
+        }
+    }
+}
+
+#[test]
+fn panicking_task_aborts_scope_and_reraises() {
+    // The panic from one task must surface on the caller; the remaining
+    // tasks must not hang the pool (poisoning drains the queue).
+    let started = AtomicUsize::new(0);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        with_threads(4, || {
+            par_map_indexed(10_000, |i| {
+                started.fetch_add(1, Ordering::Relaxed);
+                assert!(i != 3, "early task panics");
+                i
+            })
+        })
+    }));
+    assert!(result.is_err(), "panic must propagate");
+    // Poisoning stops the fan-out long before all 10k tasks run.
+    assert!(started.load(Ordering::Relaxed) < 10_000, "queue should be abandoned");
+}
+
+#[test]
+fn nested_scope_panic_propagates_to_caller() {
+    // A par_map task that itself opens a scope whose thread panics: the
+    // payload must cross both join boundaries and reach the caller.
+    let result = catch_unwind(|| {
+        with_threads(2, || {
+            par_map_indexed(4, |i| {
+                if i == 2 {
+                    scope(|s| {
+                        s.spawn(|| panic!("inner scope thread panicked"));
+                    });
+                }
+                i
+            })
+        })
+    });
+    assert!(result.is_err(), "nested panic must propagate");
+}
+
+#[test]
+fn nested_par_map_inside_tasks_is_serial_and_correct() {
+    // Worker threads have no thread-local override, and on a gated serial
+    // default this nests as plain loops — results must still be exact.
+    let out = with_threads(4, || {
+        par_map_indexed(8, |i| par_map_indexed(8, move |j| i * 8 + j).iter().sum::<usize>())
+    });
+    let expect: Vec<usize> = (0..8).map(|i| (0..8).map(|j| i * 8 + j).sum()).collect();
+    assert_eq!(out, expect);
+}
+
+#[test]
+fn empty_input_spawns_nothing() {
+    let out: Vec<u8> = with_threads(8, || par_map_indexed(0, |_| unreachable!()));
+    assert!(out.is_empty());
+    let mut empty: [u64; 0] = [];
+    with_threads(8, || par_chunks_mut(&mut empty, 3, |_, _| unreachable!()));
+}
+
+#[test]
+fn chunk_size_larger_than_input() {
+    // One chunk covering everything: must take the in-place serial path and
+    // still report chunk index 0.
+    let mut data = vec![1i32, 2, 3];
+    with_threads(8, || {
+        par_chunks_mut(&mut data, 1_000_000, |i, c| {
+            assert_eq!(i, 0);
+            assert_eq!(c.len(), 3);
+            for v in c.iter_mut() {
+                *v = -*v;
+            }
+        });
+    });
+    assert_eq!(data, vec![-1, -2, -3]);
+}
+
+#[test]
+fn worker_count_far_exceeding_items() {
+    // More workers than items: extra workers find the queue empty and exit.
+    let out = with_threads(64, || par_map_indexed(3, |i| i + 1));
+    assert_eq!(out, vec![1, 2, 3]);
+}
+
+#[test]
+fn uneven_tail_chunk_is_processed() {
+    let mut data: Vec<usize> = (0..13).collect();
+    with_threads(4, || {
+        par_chunks_mut(&mut data, 5, |i, c| {
+            assert!(if i == 2 { c.len() == 3 } else { c.len() == 5 });
+            for v in c.iter_mut() {
+                *v += 100 * (i + 1);
+            }
+        });
+    });
+    let expect: Vec<usize> = (0..13).map(|v| v + 100 * (v / 5 + 1)).collect();
+    assert_eq!(data, expect);
+}

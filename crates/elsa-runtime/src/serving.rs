@@ -88,17 +88,31 @@ impl InferenceServer {
     /// Serves a batch of requests arriving simultaneously, dispatching them
     /// FIFO over the configured number of accelerators.
     ///
+    /// Request simulations are independent of each other, so they fan out
+    /// across worker threads when the batch is large; the FIFO assignment of
+    /// completion times is then folded serially in arrival order, so the
+    /// report is identical at any worker count.
+    ///
     /// # Panics
     ///
     /// Panics if any request exceeds the hardware's `n_max`.
     #[must_use]
     pub fn serve(&self, requests: &[AttentionInputs]) -> ServingReport {
         let accel = ElsaAccelerator::new(self.accel_config, self.operator.clone());
+        let run_one =
+            |i: usize| accel.run(&requests[i]).cycles.seconds(&self.accel_config);
+        let work: usize = requests
+            .iter()
+            .map(|r| r.num_queries().saturating_mul(r.num_keys()).saturating_mul(r.dim()))
+            .sum();
+        let service_times: Vec<f64> = if elsa_parallel::beneficial(work) && requests.len() > 1 {
+            elsa_parallel::par_map_indexed(requests.len(), run_one)
+        } else {
+            (0..requests.len()).map(run_one).collect()
+        };
         let mut free_at = vec![0.0f64; self.accel_config.num_accelerators];
         let mut records = Vec::with_capacity(requests.len());
-        for request in requests {
-            let report = accel.run(request);
-            let service = report.cycles.seconds(&self.accel_config);
+        for (request, service) in requests.iter().zip(service_times) {
             // FIFO: take the accelerator that frees up first.
             let (idx, _) = free_at
                 .iter()
@@ -191,5 +205,16 @@ mod tests {
         let report = server.serve(&[]);
         assert_eq!(report.throughput_per_s(), 0.0);
         assert_eq!(report.mean_service_s(), 0.0);
+    }
+
+    #[test]
+    fn serve_is_identical_serial_and_parallel() {
+        // The per-request fan-out must not change a single bit of the report:
+        // same service times, same FIFO completion times, any worker count.
+        let server = server(8);
+        let batch = requests(24, 9);
+        let serial = elsa_parallel::with_threads(1, || server.serve(&batch));
+        let parallel = elsa_parallel::with_threads(4, || server.serve(&batch));
+        assert_eq!(serial, parallel);
     }
 }

@@ -87,21 +87,38 @@ impl LshAttention {
     /// same-bucket keys). Queries whose buckets are empty in every round
     /// fall back to attending their positional neighbour set `{i}` clamped
     /// into range (Reformer always attends within its own chunk).
+    ///
+    /// Bucket-id hashing fans out across worker threads when the invocation
+    /// is large; the bucket map itself is then built serially in key order,
+    /// so candidate sets are identical at any worker count.
     #[must_use]
     pub fn candidates(&self, inputs: &AttentionInputs) -> (Vec<Vec<usize>>, SelectionStats) {
         let n = inputs.num_keys();
         let nq = inputs.num_queries();
+        let d = inputs.dim();
         let mut sets: Vec<std::collections::BTreeSet<usize>> =
             vec![std::collections::BTreeSet::new(); nq];
+        let hash_work = (n + nq).saturating_mul(self.config.bucket_bits).saturating_mul(d);
         for round in 0..self.config.rounds {
-            // Bucket all keys once.
+            // Bucket ids for all keys and queries (the parallelizable part).
+            let key_ids: Vec<usize> = if elsa_parallel::beneficial(hash_work) {
+                elsa_parallel::par_map_indexed(n, |j| self.bucket(round, inputs.key().row(j)))
+            } else {
+                (0..n).map(|j| self.bucket(round, inputs.key().row(j))).collect()
+            };
+            let query_ids: Vec<usize> = if elsa_parallel::beneficial(hash_work) {
+                elsa_parallel::par_map_indexed(nq, |i| self.bucket(round, inputs.query().row(i)))
+            } else {
+                (0..nq).map(|i| self.bucket(round, inputs.query().row(i))).collect()
+            };
+            // Bucket all keys once, serially in key order.
             let mut buckets: std::collections::HashMap<usize, Vec<usize>> =
                 std::collections::HashMap::new();
-            for j in 0..n {
-                buckets.entry(self.bucket(round, inputs.key().row(j))).or_default().push(j);
+            for (j, &id) in key_ids.iter().enumerate() {
+                buckets.entry(id).or_default().push(j);
             }
             for (i, set) in sets.iter_mut().enumerate() {
-                if let Some(members) = buckets.get(&self.bucket(round, inputs.query().row(i))) {
+                if let Some(members) = buckets.get(&query_ids[i]) {
                     set.extend(members.iter().copied());
                 }
             }

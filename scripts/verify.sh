@@ -2,7 +2,10 @@
 # Tier-1 verification gate, fully offline.
 #
 # 1. cargo build --release --offline  +  cargo test -q --offline (tier-1)
-# 2. workspace-wide unit tests and bench smoke runs
+# 2. workspace-wide unit tests, run twice — pinned to one worker thread and
+#    to four — so the deterministic-parallelism contract (bit-identical
+#    results at any worker count; see crates/elsa-parallel) is exercised on
+#    every gate run, plus bench smoke runs
 # 3. dependency guard: every [dependencies]/[dev-dependencies] entry in every
 #    Cargo.toml must be an in-tree path dependency (directly or via
 #    workspace = true); anything resolving to crates.io fails the gate.
@@ -15,8 +18,11 @@ cargo build --release --offline
 echo "==> tier-1: cargo test -q --offline"
 cargo test -q --offline
 
-echo "==> workspace tests (all crates)"
-cargo test -q --offline --workspace
+echo "==> workspace tests (all crates, ELSA_THREADS=1)"
+ELSA_THREADS=1 cargo test -q --offline --workspace
+
+echo "==> workspace tests (all crates, ELSA_THREADS=4)"
+ELSA_THREADS=4 cargo test -q --offline --workspace
 
 echo "==> bench smoke runs (each benchmark body once)"
 cargo test -q --offline --workspace --benches
@@ -54,7 +60,13 @@ DEP_TABLES = ("dependencies", "dev-dependencies", "build-dependencies")
 def local(entry):
     return isinstance(entry, dict) and ("path" in entry or entry.get("workspace") is True)
 
-for manifest in ["Cargo.toml", *sorted(glob.glob("crates/*/Cargo.toml"))]:
+manifests = ["Cargo.toml", *sorted(glob.glob("crates/*/Cargo.toml"))]
+# The glob must keep covering every crate; pin one known manifest per guard
+# review so a layout change cannot silently drop the scan.
+assert "crates/elsa-parallel/Cargo.toml" in manifests, \
+    "dep guard no longer sees crates/elsa-parallel/Cargo.toml"
+
+for manifest in manifests:
     with open(manifest, "rb") as f:
         doc = tomllib.load(f)
     tables = [(t, doc.get(t, {})) for t in DEP_TABLES]

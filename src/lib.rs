@@ -52,6 +52,8 @@ pub use elsa_attention as attention;
 pub use elsa_baselines as baselines;
 /// Linear algebra substrate (re-export of `elsa-linalg`).
 pub use elsa_linalg as linalg;
+/// Deterministic parallel execution layer (re-export of `elsa-parallel`).
+pub use elsa_parallel as parallel;
 /// Datapath number formats (re-export of `elsa-numeric`).
 pub use elsa_numeric as numeric;
 /// Software sparse-attention baselines (re-export of `elsa-sparse`).
