@@ -1,0 +1,272 @@
+//! The chaos wrapper: one accelerator unit behind a fault plan.
+
+use std::fmt;
+
+use elsa_attention::exact::AttentionInputs;
+use elsa_sim::{AcceleratorConfig, ElsaAccelerator, FitError, RunReport};
+
+use crate::inject;
+use crate::plan::{CorruptionKind, FaultPlan};
+
+/// Why a dispatched job did not produce a (possibly corrupted) result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// The unit is dead for the whole batch.
+    UnitDead {
+        /// The dead unit.
+        unit: usize,
+    },
+    /// The attempt errored transiently; a retry (on this or another unit)
+    /// may succeed.
+    Transient {
+        /// Unit the attempt ran on.
+        unit: usize,
+        /// Request index within the batch.
+        request: usize,
+        /// Zero-based attempt number.
+        attempt: u32,
+    },
+    /// The invocation does not fit the hardware (not a fault — a caller
+    /// error surfaced through the same channel for uniform dispatch).
+    Misfit(FitError),
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FaultEvent::UnitDead { unit } => write!(f, "accelerator unit {unit} is dead"),
+            FaultEvent::Transient { unit, request, attempt } => {
+                write!(f, "transient fault on unit {unit} (request {request}, attempt {attempt})")
+            }
+            FaultEvent::Misfit(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultEvent {}
+
+impl From<FitError> for FaultEvent {
+    fn from(e: FitError) -> Self {
+        FaultEvent::Misfit(e)
+    }
+}
+
+/// A completed run through the fault layer: the (possibly corrupted)
+/// report, the straggler slowdown it experienced, and what was injected.
+#[derive(Debug, Clone)]
+pub struct FaultyRun {
+    /// The run report; the output matrix / selection stats already carry
+    /// any injected corruption.
+    pub report: RunReport,
+    /// Straggler slowdown factor (`≥ 1`, `1.0` for a healthy pairing).
+    pub slowdown: f64,
+    /// The corruption injected into `report`, if any.
+    pub corruption: Option<CorruptionKind>,
+}
+
+impl FaultyRun {
+    /// Wall-clock service seconds including the straggler slowdown.
+    #[must_use]
+    pub fn service_s(&self, config: &AcceleratorConfig) -> f64 {
+        self.report.cycles.seconds(config) * self.slowdown
+    }
+}
+
+/// One accelerator unit of a replicated pool, wrapped in a [`FaultPlan`].
+///
+/// The wrapper never touches the serial kernels: the inner
+/// [`ElsaAccelerator`] computes exactly what it always computes, and faults
+/// are applied to the finished result (or pre-empt the run entirely).
+///
+/// # Examples
+///
+/// ```
+/// use elsa_fault::{FaultPlan, FaultyAccelerator};
+/// use elsa_sim::{AcceleratorConfig, ElsaAccelerator};
+/// use elsa_core::attention::{ElsaAttention, ElsaParams};
+/// use elsa_attention::AttentionInputs;
+/// use elsa_linalg::{Matrix, SeededRng};
+///
+/// let mut rng = SeededRng::new(1);
+/// let mut mk = || Matrix::from_fn(64, 64, |_, _| rng.standard_normal() as f32);
+/// let inputs = AttentionInputs::new(mk(), mk(), mk());
+/// let operator = ElsaAttention::learn(
+///     ElsaParams::for_dims(64, 64, &mut SeededRng::new(2)),
+///     &[inputs.clone()],
+///     1.0,
+/// );
+/// let accel = ElsaAccelerator::new(AcceleratorConfig::paper(), operator);
+///
+/// // A zero-fault wrapper is a transparent pass-through.
+/// let unit = FaultyAccelerator::new(&accel, 0, FaultPlan::none());
+/// let run = unit.try_run(0, 0, &inputs).expect("no faults planned");
+/// assert_eq!(run.slowdown, 1.0);
+/// assert!(run.corruption.is_none());
+/// ```
+#[derive(Debug)]
+pub struct FaultyAccelerator<'a> {
+    accel: &'a ElsaAccelerator,
+    unit: usize,
+    plan: FaultPlan,
+}
+
+impl<'a> FaultyAccelerator<'a> {
+    /// Wraps `accel` as unit `unit` of a pool governed by `plan`.
+    #[must_use]
+    pub const fn new(accel: &'a ElsaAccelerator, unit: usize, plan: FaultPlan) -> Self {
+        Self { accel, unit, plan }
+    }
+
+    /// This wrapper's unit index.
+    #[must_use]
+    pub const fn unit(&self) -> usize {
+        self.unit
+    }
+
+    /// The governing plan.
+    #[must_use]
+    pub const fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Whether the plan declares this unit dead.
+    #[must_use]
+    pub fn is_dead(&self) -> bool {
+        self.plan.unit_dead(self.unit)
+    }
+
+    /// Runs attempt `attempt` of request `request` through the fault layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FaultEvent`] when the unit is dead, the attempt errors
+    /// transiently, or the invocation does not fit the hardware. A
+    /// *numeric* fault is not an error at this layer — the corrupted result
+    /// is returned (tagged in [`FaultyRun::corruption`]) exactly as faulty
+    /// silicon would serve it, and detection is the caller's guard's job.
+    pub fn try_run(
+        &self,
+        request: usize,
+        attempt: u32,
+        inputs: &AttentionInputs,
+    ) -> Result<FaultyRun, FaultEvent> {
+        if self.is_dead() {
+            return Err(FaultEvent::UnitDead { unit: self.unit });
+        }
+        if self.plan.transient_fault(self.unit, request, attempt) {
+            return Err(FaultEvent::Transient { unit: self.unit, request, attempt });
+        }
+        let mut report = self.accel.try_run(inputs)?;
+        let corruption = self.plan.corruption(self.unit, request);
+        if let Some(kind) = corruption {
+            inject::corrupt_report(&mut report, kind, &self.plan, self.unit, request);
+        }
+        Ok(FaultyRun {
+            report,
+            slowdown: self.plan.straggler_factor(self.unit, request),
+            corruption,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultRates;
+    use elsa_core::attention::{ElsaAttention, ElsaParams};
+    use elsa_linalg::{Matrix, SeededRng};
+
+    fn accel(seed: u64) -> ElsaAccelerator {
+        let mut rng = SeededRng::new(seed);
+        let mut mk = || Matrix::from_fn(64, 64, |_, _| rng.standard_normal() as f32);
+        let inputs = AttentionInputs::new(mk(), mk(), mk());
+        let operator = ElsaAttention::learn(
+            ElsaParams::for_dims(64, 64, &mut SeededRng::new(seed + 1)),
+            &[inputs],
+            1.0,
+        );
+        ElsaAccelerator::new(AcceleratorConfig::paper(), operator)
+    }
+
+    fn inputs(seed: u64) -> AttentionInputs {
+        let mut rng = SeededRng::new(seed);
+        let mut mk = || Matrix::from_fn(48, 64, |_, _| rng.standard_normal() as f32);
+        AttentionInputs::new(mk(), mk(), mk())
+    }
+
+    #[test]
+    fn zero_fault_wrapper_is_bit_transparent() {
+        let accel = accel(1);
+        let req = inputs(2);
+        let direct = accel.run(&req);
+        let wrapped = FaultyAccelerator::new(&accel, 0, FaultPlan::none())
+            .try_run(0, 0, &req)
+            .expect("no faults");
+        let bits = |m: &Matrix| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&direct.output), bits(&wrapped.report.output));
+        assert_eq!(direct.stats, wrapped.report.stats);
+        assert_eq!(wrapped.slowdown, 1.0);
+        assert_eq!(
+            wrapped.service_s(&AcceleratorConfig::paper()).to_bits(),
+            direct.cycles.seconds(&AcceleratorConfig::paper()).to_bits()
+        );
+    }
+
+    #[test]
+    fn dead_unit_refuses_every_job() {
+        let accel = accel(3);
+        let req = inputs(4);
+        let plan = FaultPlan::seeded(0, FaultRates { unit_death: 1.0, ..FaultRates::none() });
+        let unit = FaultyAccelerator::new(&accel, 5, plan);
+        assert!(unit.is_dead());
+        assert!(matches!(
+            unit.try_run(0, 0, &req),
+            Err(FaultEvent::UnitDead { unit: 5 })
+        ));
+    }
+
+    #[test]
+    fn corruption_is_visible_in_the_result() {
+        let accel = accel(5);
+        let req = inputs(6);
+        let plan = FaultPlan::seeded(21, FaultRates { corrupt: 1.0, ..FaultRates::none() });
+        let mut value_level = 0;
+        let mut empty_level = 0;
+        for r in 0..24 {
+            let run = FaultyAccelerator::new(&accel, 1, plan)
+                .try_run(r, 0, &req)
+                .expect("only numeric corruption planned");
+            match run.corruption.expect("corrupt rate 1.0") {
+                CorruptionKind::EmptyCandidates => {
+                    assert_eq!(run.report.stats.selected_pairs, 0);
+                    empty_level += 1;
+                }
+                _ => {
+                    let poisoned = run
+                        .report
+                        .output
+                        .as_slice()
+                        .iter()
+                        .filter(|v| !(v.abs() < crate::SATURATION_LIMIT))
+                        .count();
+                    assert_eq!(poisoned, 1, "exactly one poisoned element");
+                    value_level += 1;
+                }
+            }
+        }
+        assert!(value_level > 0 && empty_level > 0);
+    }
+
+    #[test]
+    fn misfit_surfaces_through_the_fault_channel() {
+        let accel = accel(7);
+        let mut rng = SeededRng::new(8);
+        let mut mk = || Matrix::from_fn(1024, 64, |_, _| rng.standard_normal() as f32);
+        let oversized = AttentionInputs::new(mk(), mk(), mk());
+        let unit = FaultyAccelerator::new(&accel, 0, FaultPlan::none());
+        assert!(matches!(
+            unit.try_run(0, 0, &oversized),
+            Err(FaultEvent::Misfit(FitError::RequestTooLarge { n: 1024, n_max: 512 }))
+        ));
+    }
+}

@@ -1,0 +1,172 @@
+//! Per-unit health tracking with quarantine.
+//!
+//! A production pool does not keep dispatching to a unit that keeps
+//! erroring: after `quarantine_after` *consecutive* faults the tracker
+//! quarantines the unit, and the dispatcher rebalances the remaining work
+//! over the survivors. A success resets a unit's consecutive-fault count
+//! (transient faults are forgiven; repeated ones are not).
+
+/// Health state of a replicated accelerator pool.
+///
+/// # Examples
+///
+/// ```
+/// use elsa_fault::HealthTracker;
+///
+/// let mut health = HealthTracker::new(3, 2);
+/// health.mark_dead(0);
+/// assert_eq!(health.available_units(), vec![1, 2]);
+/// health.record_fault(1);
+/// health.record_fault(1); // second consecutive fault => quarantined
+/// assert_eq!(health.available_units(), vec![2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthTracker {
+    consecutive: Vec<u32>,
+    total_faults: Vec<u64>,
+    quarantined: Vec<bool>,
+    dead: Vec<bool>,
+    quarantine_after: u32,
+}
+
+impl HealthTracker {
+    /// A tracker for `units` healthy units, quarantining after
+    /// `quarantine_after` consecutive faults (`0` means quarantine on the
+    /// first fault).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units == 0` (an internal invariant: callers size the
+    /// tracker from a validated accelerator config).
+    #[must_use]
+    pub fn new(units: usize, quarantine_after: u32) -> Self {
+        assert!(units > 0, "need at least one unit to track");
+        Self {
+            consecutive: vec![0; units],
+            total_faults: vec![0; units],
+            quarantined: vec![false; units],
+            dead: vec![false; units],
+            quarantine_after: quarantine_after.max(1),
+        }
+    }
+
+    /// Number of tracked units.
+    #[must_use]
+    pub fn units(&self) -> usize {
+        self.dead.len()
+    }
+
+    /// Marks a unit permanently dead (it never returns to service).
+    pub fn mark_dead(&mut self, unit: usize) {
+        self.dead[unit] = true;
+    }
+
+    /// Records a fault on `unit`; returns `true` if this fault tipped the
+    /// unit into quarantine.
+    pub fn record_fault(&mut self, unit: usize) -> bool {
+        self.total_faults[unit] += 1;
+        self.consecutive[unit] += 1;
+        if !self.quarantined[unit] && self.consecutive[unit] >= self.quarantine_after {
+            self.quarantined[unit] = true;
+            return true;
+        }
+        false
+    }
+
+    /// Records a successful job on `unit`, resetting its consecutive-fault
+    /// count.
+    pub fn record_success(&mut self, unit: usize) {
+        self.consecutive[unit] = 0;
+    }
+
+    /// Whether `unit` may receive new work.
+    #[must_use]
+    pub fn is_available(&self, unit: usize) -> bool {
+        !self.dead[unit] && !self.quarantined[unit]
+    }
+
+    /// Indices of units that may receive new work, ascending.
+    #[must_use]
+    pub fn available_units(&self) -> Vec<usize> {
+        (0..self.units()).filter(|&u| self.is_available(u)).collect()
+    }
+
+    /// Per-unit availability mask (for scheduler rebalancing).
+    #[must_use]
+    pub fn availability_mask(&self) -> Vec<bool> {
+        (0..self.units()).map(|u| self.is_available(u)).collect()
+    }
+
+    /// Number of units that may receive new work.
+    #[must_use]
+    pub fn num_available(&self) -> usize {
+        (0..self.units()).filter(|&u| self.is_available(u)).count()
+    }
+
+    /// Total faults ever recorded on `unit` (survives quarantine and
+    /// success resets).
+    #[must_use]
+    pub fn total_faults(&self, unit: usize) -> u64 {
+        self.total_faults[unit]
+    }
+
+    /// Returns a quarantined (not dead) unit to service — an operator
+    /// action after replacing or validating the hardware.
+    pub fn reinstate(&mut self, unit: usize) {
+        if !self.dead[unit] {
+            self.quarantined[unit] = false;
+            self.consecutive[unit] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_resets_the_quarantine_countdown() {
+        let mut h = HealthTracker::new(2, 3);
+        assert!(!h.record_fault(0));
+        assert!(!h.record_fault(0));
+        h.record_success(0);
+        assert!(!h.record_fault(0));
+        assert!(!h.record_fault(0));
+        assert!(h.is_available(0));
+        assert!(h.record_fault(0), "third consecutive fault quarantines");
+        assert!(!h.is_available(0));
+        assert_eq!(h.total_faults(0), 5);
+    }
+
+    #[test]
+    fn dead_units_never_come_back() {
+        let mut h = HealthTracker::new(3, 1);
+        h.mark_dead(1);
+        h.reinstate(1);
+        assert!(!h.is_available(1));
+        assert_eq!(h.available_units(), vec![0, 2]);
+        assert_eq!(h.availability_mask(), vec![true, false, true]);
+        assert_eq!(h.num_available(), 2);
+    }
+
+    #[test]
+    fn reinstate_returns_quarantined_units() {
+        let mut h = HealthTracker::new(1, 1);
+        assert!(h.record_fault(0));
+        assert_eq!(h.num_available(), 0);
+        h.reinstate(0);
+        assert!(h.is_available(0));
+    }
+
+    #[test]
+    fn zero_threshold_is_clamped_to_one() {
+        let mut h = HealthTracker::new(1, 0);
+        assert!(h.record_fault(0), "first fault must quarantine, not underflow");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn rejects_empty_pool() {
+        let _ = HealthTracker::new(0, 1);
+    }
+}

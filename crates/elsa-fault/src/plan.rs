@@ -1,0 +1,334 @@
+//! Seeded, replayable fault plans.
+//!
+//! A [`FaultPlan`] is a *pure function* from `(seed, site)` to fault
+//! decisions: whether unit `u` is dead, whether attempt `a` of request `r`
+//! on unit `u` errors, how slow a straggling unit runs, and whether (and
+//! how) a result is numerically corrupted. Decisions are derived by mixing
+//! the site labels through the `elsa-testkit` PRNG, **never** by drawing
+//! from a shared stateful stream — so the same plan gives the same answers
+//! regardless of evaluation order, worker count, or how often a site is
+//! queried. That property is what lets the chaos battery demand bit-exact
+//! replay at any `ELSA_THREADS`.
+
+use elsa_testkit::rng::{SplitMix64, TestRng};
+
+/// Per-site fault probabilities (all in `[0, 1]`; values outside are
+/// clamped at decision time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRates {
+    /// Probability that a unit is dead for the whole batch.
+    pub unit_death: f64,
+    /// Per-attempt probability that a dispatched job errors transiently.
+    pub transient: f64,
+    /// Probability that a `(unit, request)` pairing straggles.
+    pub straggler: f64,
+    /// Largest slowdown factor a straggler can exhibit (`≥ 1`); the factor
+    /// is drawn uniformly from `[1, straggler_max_factor)`.
+    pub straggler_max_factor: f64,
+    /// Probability that a completed job's result is numerically corrupted
+    /// (NaN / ±∞ / saturated value injected, or candidate set wiped).
+    pub corrupt: f64,
+}
+
+impl FaultRates {
+    /// No faults of any kind.
+    #[must_use]
+    pub const fn none() -> Self {
+        Self {
+            unit_death: 0.0,
+            transient: 0.0,
+            straggler: 0.0,
+            straggler_max_factor: 1.0,
+            corrupt: 0.0,
+        }
+    }
+
+    /// A moderately hostile pool: occasional dead units, transient errors,
+    /// 4× stragglers, and rare numeric corruption. A convenient chaos-test
+    /// starting point.
+    #[must_use]
+    pub const fn chaotic() -> Self {
+        Self {
+            unit_death: 0.15,
+            transient: 0.1,
+            straggler: 0.2,
+            straggler_max_factor: 4.0,
+            corrupt: 0.05,
+        }
+    }
+}
+
+impl Default for FaultRates {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// How an injected numeric corruption manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionKind {
+    /// A `NaN` written into the attention output (a poisoned LUT output
+    /// propagating through the softmax accumulation).
+    Nan,
+    /// `+∞` in the output (overflowed exponent-unit result).
+    PosInf,
+    /// `−∞` in the output.
+    NegInf,
+    /// A value pinned at the saturation sentinel — the fixed-point
+    /// accumulator's ceiling mapped into `f32` (see
+    /// [`SATURATION_LIMIT`](crate::SATURATION_LIMIT)).
+    SaturatedFixed,
+    /// The candidate set wiped empty (a corrupted hash signature making the
+    /// selection hardware match nothing).
+    EmptyCandidates,
+}
+
+/// A deterministic, replayable fault-injection plan.
+///
+/// # Examples
+///
+/// ```
+/// use elsa_fault::{FaultPlan, FaultRates};
+///
+/// let plan = FaultPlan::seeded(7, FaultRates { unit_death: 0.5, ..FaultRates::none() });
+/// // Decisions are pure: asking twice gives the same answer.
+/// assert_eq!(plan.unit_dead(3), plan.unit_dead(3));
+/// // And zero-rate plans never fault.
+/// assert!(!FaultPlan::none().unit_dead(3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    rates: FaultRates,
+}
+
+/// Decision-domain separators, so e.g. `unit_dead(5)` and
+/// `straggler_factor(5, 0)` never reuse a stream.
+const DOMAIN_DEATH: u64 = 0xDEAD_0001;
+const DOMAIN_TRANSIENT: u64 = 0xDEAD_0002;
+const DOMAIN_STRAGGLER: u64 = 0xDEAD_0003;
+const DOMAIN_CORRUPT: u64 = 0xDEAD_0004;
+/// Extra stream used when *applying* a corruption (element choice).
+pub(crate) const DOMAIN_INJECT: u64 = 0xDEAD_0005;
+
+impl FaultPlan {
+    /// The zero-fault plan: every decision is "healthy", with no PRNG work
+    /// on the hot path (rates short-circuit before any mixing).
+    #[must_use]
+    pub const fn none() -> Self {
+        Self { seed: 0, rates: FaultRates::none() }
+    }
+
+    /// A plan with explicit seed and rates.
+    #[must_use]
+    pub const fn seeded(seed: u64, rates: FaultRates) -> Self {
+        Self { seed, rates }
+    }
+
+    /// A plan seeded from the `ELSA_TESTKIT_SEED` environment variable when
+    /// set (same syntax as the property harness: decimal or `0x`-hex),
+    /// falling back to `default_seed`. This is the replay hook: rerunning a
+    /// chaos failure with the reported seed reproduces the exact fault
+    /// pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ELSA_TESTKIT_SEED` is set but not a valid `u64`.
+    #[must_use]
+    pub fn from_env(default_seed: u64, rates: FaultRates) -> Self {
+        let seed = std::env::var("ELSA_TESTKIT_SEED").ok().map_or(default_seed, |raw| {
+            let raw = raw.trim().to_owned();
+            let parsed = raw
+                .strip_prefix("0x")
+                .or_else(|| raw.strip_prefix("0X"))
+                .map_or_else(|| raw.parse(), |hex| u64::from_str_radix(hex, 16));
+            match parsed {
+                Ok(seed) => seed,
+                Err(_) => panic!("ELSA_TESTKIT_SEED is not a valid u64: {raw:?}"),
+            }
+        });
+        Self { seed, rates }
+    }
+
+    /// The plan's seed.
+    #[must_use]
+    pub const fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The plan's rates.
+    #[must_use]
+    pub const fn rates(&self) -> FaultRates {
+        self.rates
+    }
+
+    /// Whether this plan can never inject any fault.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        let r = self.rates;
+        r.unit_death <= 0.0 && r.transient <= 0.0 && r.straggler <= 0.0 && r.corrupt <= 0.0
+    }
+
+    /// Derives the decision stream for one site: a hash chain over
+    /// `(seed, domain, labels…)`, independent of call order.
+    pub(crate) fn site_rng(&self, domain: u64, labels: &[u64]) -> TestRng {
+        let mut h = SplitMix64::mix(self.seed ^ SplitMix64::mix(domain));
+        for &label in labels {
+            h = SplitMix64::mix(h ^ label.wrapping_add(SplitMix64::GAMMA));
+        }
+        TestRng::new(h)
+    }
+
+    /// Is unit `unit` dead for the whole batch?
+    #[must_use]
+    pub fn unit_dead(&self, unit: usize) -> bool {
+        self.rates.unit_death > 0.0
+            && self.site_rng(DOMAIN_DEATH, &[unit as u64]).bernoulli(self.rates.unit_death)
+    }
+
+    /// Does attempt `attempt` of request `request` error transiently on
+    /// unit `unit`?
+    #[must_use]
+    pub fn transient_fault(&self, unit: usize, request: usize, attempt: u32) -> bool {
+        self.rates.transient > 0.0
+            && self
+                .site_rng(
+                    DOMAIN_TRANSIENT,
+                    &[unit as u64, request as u64, u64::from(attempt)],
+                )
+                .bernoulli(self.rates.transient)
+    }
+
+    /// Slowdown factor for request `request` on unit `unit` (`1.0` when the
+    /// pairing does not straggle; always `≥ 1`).
+    #[must_use]
+    pub fn straggler_factor(&self, unit: usize, request: usize) -> f64 {
+        if self.rates.straggler <= 0.0 || self.rates.straggler_max_factor <= 1.0 {
+            return 1.0;
+        }
+        let mut rng = self.site_rng(DOMAIN_STRAGGLER, &[unit as u64, request as u64]);
+        if rng.bernoulli(self.rates.straggler) {
+            rng.uniform_in(1.0, self.rates.straggler_max_factor)
+        } else {
+            1.0
+        }
+    }
+
+    /// The numeric corruption (if any) afflicting request `request`'s
+    /// result on unit `unit`.
+    #[must_use]
+    pub fn corruption(&self, unit: usize, request: usize) -> Option<CorruptionKind> {
+        if self.rates.corrupt <= 0.0 {
+            return None;
+        }
+        let mut rng = self.site_rng(DOMAIN_CORRUPT, &[unit as u64, request as u64]);
+        if !rng.bernoulli(self.rates.corrupt) {
+            return None;
+        }
+        Some(match rng.index(5) {
+            0 => CorruptionKind::Nan,
+            1 => CorruptionKind::PosInf,
+            2 => CorruptionKind::NegInf,
+            3 => CorruptionKind::SaturatedFixed,
+            _ => CorruptionKind::EmptyCandidates,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure_and_order_independent() {
+        let plan = FaultPlan::seeded(42, FaultRates::chaotic());
+        // Query sites in two different orders; answers must match.
+        let forward: Vec<bool> = (0..32).map(|u| plan.unit_dead(u)).collect();
+        let backward: Vec<bool> = (0..32).rev().map(|u| plan.unit_dead(u)).collect();
+        let backward_reversed: Vec<bool> = backward.into_iter().rev().collect();
+        assert_eq!(forward, backward_reversed);
+        assert_eq!(
+            plan.straggler_factor(3, 17).to_bits(),
+            plan.straggler_factor(3, 17).to_bits()
+        );
+        assert_eq!(plan.corruption(2, 9), plan.corruption(2, 9));
+    }
+
+    #[test]
+    fn same_seed_same_plan_different_seed_different_plan() {
+        let rates = FaultRates::chaotic();
+        let a: Vec<bool> = (0..256).map(|u| FaultPlan::seeded(7, rates).unit_dead(u)).collect();
+        let b: Vec<bool> = (0..256).map(|u| FaultPlan::seeded(7, rates).unit_dead(u)).collect();
+        let c: Vec<bool> = (0..256).map(|u| FaultPlan::seeded(8, rates).unit_dead(u)).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_plan_never_faults_anywhere() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_zero());
+        for u in 0..16 {
+            assert!(!plan.unit_dead(u));
+            for r in 0..16 {
+                assert!(!plan.transient_fault(u, r, 0));
+                assert_eq!(plan.straggler_factor(u, r), 1.0);
+                assert_eq!(plan.corruption(u, r), None);
+            }
+        }
+    }
+
+    #[test]
+    fn rates_shape_decision_frequencies() {
+        let heavy = FaultPlan::seeded(3, FaultRates { transient: 0.5, ..FaultRates::none() });
+        let light = FaultPlan::seeded(3, FaultRates { transient: 0.02, ..FaultRates::none() });
+        let count = |plan: &FaultPlan| {
+            (0..2000).filter(|&r| plan.transient_fault(0, r, 0)).count()
+        };
+        let heavy_count = count(&heavy);
+        let light_count = count(&light);
+        assert!(heavy_count > 800 && heavy_count < 1200, "heavy {heavy_count}");
+        assert!(light_count < 120, "light {light_count}");
+    }
+
+    #[test]
+    fn straggler_factors_bounded_and_sometimes_slow() {
+        let plan = FaultPlan::seeded(5, FaultRates {
+            straggler: 0.5,
+            straggler_max_factor: 4.0,
+            ..FaultRates::none()
+        });
+        let mut slow = 0;
+        for r in 0..500 {
+            let f = plan.straggler_factor(1, r);
+            assert!((1.0..4.0).contains(&f), "factor {f}");
+            if f > 1.0 {
+                slow += 1;
+            }
+        }
+        assert!(slow > 150 && slow < 350, "stragglers {slow}");
+    }
+
+    #[test]
+    fn corruption_covers_all_kinds() {
+        let plan = FaultPlan::seeded(11, FaultRates { corrupt: 1.0, ..FaultRates::none() });
+        let mut seen = std::collections::BTreeSet::new();
+        for r in 0..200 {
+            if let Some(kind) = plan.corruption(0, r) {
+                seen.insert(format!("{kind:?}"));
+            }
+        }
+        assert_eq!(seen.len(), 5, "kinds seen: {seen:?}");
+    }
+
+    #[test]
+    fn attempts_get_independent_transient_draws() {
+        let plan = FaultPlan::seeded(13, FaultRates { transient: 0.5, ..FaultRates::none() });
+        // Over many requests, some must fault on attempt 0 but not attempt 1
+        // (retries on the same unit are not doomed to repeat).
+        let recovered = (0..200)
+            .filter(|&r| plan.transient_fault(0, r, 0) && !plan.transient_fault(0, r, 1))
+            .count();
+        assert!(recovered > 20, "recovered {recovered}");
+    }
+}

@@ -1,0 +1,274 @@
+//! Numeric guards over the LUT-based functional units.
+//!
+//! The ELSA datapath has no trap hardware: a `NaN` that sneaks into the
+//! exponent unit, a zero routed into the reciprocal, or a score that
+//! saturates the custom floating-point format all propagate silently into
+//! the attention output. Related approximate-softmax accelerator designs
+//! (H-FA, FLASH-D) share the same failure modes — overflow and NaN
+//! propagation must be *detected and contained*, not served.
+//!
+//! This module adds the containment primitives:
+//!
+//! * checked variants of the special-function units
+//!   ([`ExpUnit::exp_checked`], [`ReciprocalUnit::reciprocal_checked`],
+//!   [`SqrtUnit::sqrt_checked`]) that classify a non-finite or saturated
+//!   result as a typed [`NumericFault`] instead of returning garbage;
+//! * [`ensure_finite`], the guard the serving path runs over LUT outputs
+//!   and attention scores before results leave the accelerator model;
+//! * [`SaturationCounter`], an accumulator for fault statistics so a
+//!   deployment can observe *how often* its datapath saturates.
+//!
+//! The un-checked unit methods are untouched: the cycle-level simulator's
+//! inner loop keeps its allocation-free fast path, and the guards run at the
+//! serving boundary (see `elsa-runtime`) where a trip triggers graceful
+//! degradation to exact attention rather than a crash.
+
+use std::fmt;
+
+use crate::cfloat::CustomFloat;
+use crate::lut::{ExpUnit, ReciprocalUnit, SqrtUnit};
+
+/// A detected numeric fault in the datapath.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NumericFault {
+    /// A value that must be finite was `NaN` or `±∞`.
+    NonFinite {
+        /// Which unit or datapath stage observed the value.
+        context: &'static str,
+        /// The offending value (NaN compares unequal; kept for Display).
+        value: f64,
+    },
+    /// A result clamped to the limit of its number format.
+    Saturated {
+        /// Which unit or datapath stage produced the saturated value.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for NumericFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            NumericFault::NonFinite { context, value } => {
+                write!(f, "non-finite value {value} in {context}")
+            }
+            NumericFault::Saturated { context } => write!(f, "saturated output in {context}"),
+        }
+    }
+}
+
+impl std::error::Error for NumericFault {}
+
+/// Requires `x` to be finite, tagging the failure with its datapath stage.
+///
+/// # Errors
+///
+/// Returns [`NumericFault::NonFinite`] when `x` is `NaN` or infinite.
+pub fn ensure_finite(context: &'static str, x: f64) -> Result<f64, NumericFault> {
+    if x.is_finite() {
+        Ok(x)
+    } else {
+        Err(NumericFault::NonFinite { context, value: x })
+    }
+}
+
+fn is_saturated(x: CustomFloat) -> bool {
+    !x.is_zero() && x.to_f64().abs() >= CustomFloat::max_value().to_f64()
+}
+
+impl ExpUnit {
+    /// [`exp`](Self::exp) with a finite-output check: a non-finite input or
+    /// a result at the ceiling of the custom format is reported instead of
+    /// silently flowing into the softmax accumulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericFault::NonFinite`] for a `NaN`/`±∞` input and
+    /// [`NumericFault::Saturated`] when the result clamps to the format
+    /// maximum.
+    pub fn exp_checked(&self, x: f64) -> Result<CustomFloat, NumericFault> {
+        let x = ensure_finite("exp unit input", x)?;
+        let y = self.exp(x);
+        if is_saturated(y) {
+            return Err(NumericFault::Saturated { context: "exp unit output" });
+        }
+        Ok(y)
+    }
+}
+
+impl ReciprocalUnit {
+    /// [`reciprocal`](Self::reciprocal) with a saturation check: the
+    /// hardware's divide-by-zero convention (return the format maximum) is
+    /// surfaced as a fault so the caller can degrade instead of serving a
+    /// pseudo-infinity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericFault::Saturated`] for a zero input (the unit's
+    /// saturated output) and [`NumericFault::NonFinite`] if the result
+    /// round-trips to a non-finite `f64`.
+    pub fn reciprocal_checked(&self, x: CustomFloat) -> Result<CustomFloat, NumericFault> {
+        if x.is_zero() {
+            return Err(NumericFault::Saturated { context: "reciprocal unit input zero" });
+        }
+        let y = self.reciprocal(x);
+        ensure_finite("reciprocal unit output", y.to_f64())?;
+        Ok(y)
+    }
+}
+
+impl SqrtUnit {
+    /// [`sqrt`](Self::sqrt) with a finite-input check. The datapath squares
+    /// its input before this unit, so negatives cannot occur — but a `NaN`
+    /// norm (from corrupted key memory) must not silently become zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericFault::NonFinite`] when the input is `NaN`/`±∞`.
+    pub fn sqrt_checked(&self, x: f64) -> Result<f64, NumericFault> {
+        let x = ensure_finite("sqrt unit input", x)?;
+        Ok(self.sqrt(x))
+    }
+}
+
+/// Accumulates numeric-fault statistics across many guarded evaluations.
+///
+/// # Examples
+///
+/// ```
+/// use elsa_numeric::{guard::SaturationCounter, CustomFloat, ReciprocalUnit};
+///
+/// let unit = ReciprocalUnit::new();
+/// let mut counter = SaturationCounter::default();
+/// counter.observe(&unit.reciprocal_checked(CustomFloat::from_f32(2.0)));
+/// counter.observe(&unit.reciprocal_checked(CustomFloat::zero()));
+/// assert_eq!(counter.total(), 2);
+/// assert_eq!(counter.saturated(), 1);
+/// assert!((counter.fault_fraction() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SaturationCounter {
+    total: u64,
+    saturated: u64,
+    non_finite: u64,
+}
+
+impl SaturationCounter {
+    /// Records the outcome of one guarded evaluation.
+    pub fn observe<T>(&mut self, result: &Result<T, NumericFault>) {
+        self.total += 1;
+        match result {
+            Ok(_) => {}
+            Err(NumericFault::Saturated { .. }) => self.saturated += 1,
+            Err(NumericFault::NonFinite { .. }) => self.non_finite += 1,
+        }
+    }
+
+    /// Evaluations observed so far.
+    #[must_use]
+    pub const fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Saturation faults observed.
+    #[must_use]
+    pub const fn saturated(&self) -> u64 {
+        self.saturated
+    }
+
+    /// Non-finite faults observed.
+    #[must_use]
+    pub const fn non_finite(&self) -> u64 {
+        self.non_finite
+    }
+
+    /// Faults of either kind as a fraction of all observations
+    /// (0.0 when nothing was observed).
+    #[must_use]
+    pub fn fault_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            (self.saturated + self.non_finite) as f64 / self.total as f64
+        }
+    }
+
+    /// Folds another counter into this one (for per-thread accumulation).
+    pub fn merge(&mut self, other: &SaturationCounter) {
+        self.total += other.total;
+        self.saturated += other.saturated;
+        self.non_finite += other.non_finite;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_values_pass_through_unchanged() {
+        assert_eq!(ensure_finite("t", 1.5), Ok(1.5));
+        assert_eq!(ensure_finite("t", -0.0), Ok(-0.0));
+    }
+
+    #[test]
+    fn non_finite_values_are_faults() {
+        assert!(matches!(
+            ensure_finite("stage", f64::NAN),
+            Err(NumericFault::NonFinite { context: "stage", .. })
+        ));
+        assert!(ensure_finite("t", f64::INFINITY).is_err());
+        assert!(ensure_finite("t", f64::NEG_INFINITY).is_err());
+    }
+
+    #[test]
+    fn checked_exp_matches_unchecked_on_normal_inputs() {
+        let unit = ExpUnit::new();
+        for i in -40..=40 {
+            let x = f64::from(i) * 0.5;
+            let checked = unit.exp_checked(x).expect("finite input");
+            assert_eq!(checked.to_bits(), unit.exp(x).to_bits());
+        }
+    }
+
+    #[test]
+    fn checked_exp_rejects_nan_and_infinity() {
+        let unit = ExpUnit::new();
+        assert!(unit.exp_checked(f64::NAN).is_err());
+        assert!(unit.exp_checked(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn checked_reciprocal_flags_zero_as_saturated() {
+        let unit = ReciprocalUnit::new();
+        assert_eq!(
+            unit.reciprocal_checked(CustomFloat::zero()),
+            Err(NumericFault::Saturated { context: "reciprocal unit input zero" })
+        );
+        let ok = unit.reciprocal_checked(CustomFloat::from_f32(4.0)).expect("nonzero");
+        assert_eq!(ok.to_bits(), unit.reciprocal(CustomFloat::from_f32(4.0)).to_bits());
+    }
+
+    #[test]
+    fn checked_sqrt_guards_nan_norms() {
+        let unit = SqrtUnit::new();
+        assert!(unit.sqrt_checked(f64::NAN).is_err());
+        assert_eq!(unit.sqrt_checked(2.0).expect("finite"), unit.sqrt(2.0));
+        // Negative inputs remain the datapath convention (zero), not a fault.
+        assert_eq!(unit.sqrt_checked(-3.0).expect("finite"), 0.0);
+    }
+
+    #[test]
+    fn counter_tracks_fault_kinds_and_merges() {
+        let mut a = SaturationCounter::default();
+        a.observe(&Ok::<(), NumericFault>(()));
+        a.observe(&Err::<(), _>(NumericFault::Saturated { context: "x" }));
+        let mut b = SaturationCounter::default();
+        b.observe(&Err::<(), _>(NumericFault::NonFinite { context: "y", value: f64::NAN }));
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.saturated(), 1);
+        assert_eq!(a.non_finite(), 1);
+        assert!((a.fault_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(SaturationCounter::default().fault_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,457 @@
+//! Fault-tolerant serving: FIFO dispatch with failover, quarantine, and
+//! graceful degradation to exact attention.
+//!
+//! [`FaultTolerantServer`] is the chaos-hardened sibling of
+//! [`InferenceServer`](crate::InferenceServer). It serves the same FIFO
+//! multi-accelerator simulation, but every dispatch consults a seeded
+//! [`FaultPlan`]:
+//!
+//! * **Unit death** — units the plan declares dead are removed from the
+//!   pool before the batch starts; their queued work rebalances over the
+//!   survivors.
+//! * **Transient faults** — a failed attempt burns its service time on the
+//!   unit, then the request retries on whichever unit frees up first
+//!   (bounded by [`FailoverPolicy::max_retries`]). Repeated faults
+//!   quarantine the unit via [`HealthTracker`]; if quarantine ever empties
+//!   the pool while non-dead units remain, the quarantined units are
+//!   reinstated on probation rather than failing the rest of the batch.
+//! * **Stragglers** — a slowed unit stretches the request's wall-clock
+//!   service time; the FIFO queue behind it feels the delay.
+//! * **Numeric corruption** — a corrupted result (NaN/∞/saturated output,
+//!   wiped candidate set) is *detected by a guard on the result itself*,
+//!   not by peeking at the plan, and the request is re-served with the
+//!   approximation disabled (exact attention, the accelerator's base
+//!   mode) and tagged `degraded`.
+//!
+//! Every fault decision is a pure function of `(seed, unit, request,
+//! attempt)`, so a batch replays bit-for-bit at any `ELSA_THREADS`, and a
+//! **zero-fault plan is bit-identical to the fault-free server** — the
+//! chaos layer costs one plan lookup per request, not a different code
+//! path (enforced by `tests/fault_tolerance.rs`).
+
+use elsa_attention::exact::AttentionInputs;
+use elsa_core::ElsaAttention;
+use elsa_fault::{FaultPlan, HealthTracker, SATURATION_LIMIT};
+use elsa_linalg::Matrix;
+use elsa_sim::{AcceleratorConfig, ElsaAccelerator, RunReport};
+
+use crate::error::RuntimeError;
+use crate::serving::{RequestRecord, ServingReport};
+
+/// Dispatch limits for [`FaultTolerantServer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailoverPolicy {
+    /// Maximum failed attempts per request before the dispatcher gives up.
+    pub max_retries: u32,
+    /// A request fails if no unit can *start* it by this time (seconds from
+    /// batch arrival). `None` disables deadlines.
+    pub deadline_s: Option<f64>,
+    /// Consecutive faults on one unit before it is quarantined.
+    pub quarantine_after: u32,
+}
+
+impl Default for FailoverPolicy {
+    fn default() -> Self {
+        Self { max_retries: 16, deadline_s: None, quarantine_after: 3 }
+    }
+}
+
+/// A served batch: the accounting report plus the actual outputs.
+///
+/// `outputs[i]` is the attention output served for request `i` — exact
+/// attention if the request degraded, `None` if it failed. Indices align
+/// with `report.records`.
+#[derive(Debug, Clone)]
+pub struct ServedBatch {
+    /// Per-request accounting, in arrival order.
+    pub report: ServingReport,
+    /// Served output per request (`None` for failed requests).
+    pub outputs: Vec<Option<Matrix>>,
+}
+
+/// The numeric guard: a result is untrustworthy when its candidate set is
+/// empty (a corrupted hash signature selects nothing) or any output value
+/// is non-finite or saturated. One predicate catches NaN, ±∞, and the
+/// fixed-point saturation sentinel: `!(v.abs() < SATURATION_LIMIT)`.
+fn guard_trips(report: &RunReport) -> bool {
+    (report.stats.num_queries > 0 && report.stats.selected_pairs == 0)
+        || report.output.as_slice().iter().any(|v| !(v.abs() < SATURATION_LIMIT))
+}
+
+/// One request's unit-independent precompute: the approximate pipeline's
+/// service time, the numeric-guard verdict on its clean result, and the
+/// output itself (kept only when the caller wants outputs back).
+struct Precomputed {
+    service_s: f64,
+    trips: bool,
+    output: Option<Matrix>,
+}
+
+/// How one request left the dispatch loop.
+enum Outcome {
+    Served { unit: usize, service_s: f64, degraded: bool, output: Option<Matrix> },
+    Failed { gave_up_at_s: f64 },
+}
+
+/// A FIFO multi-accelerator server that survives a [`FaultPlan`].
+#[derive(Debug)]
+pub struct FaultTolerantServer {
+    accel_config: AcceleratorConfig,
+    operator: ElsaAttention,
+    plan: FaultPlan,
+    policy: FailoverPolicy,
+}
+
+impl FaultTolerantServer {
+    /// Builds the server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operator does not fit the hardware configuration; see
+    /// [`FaultTolerantServer::try_new`] for the non-panicking form.
+    #[must_use]
+    pub fn new(
+        accel_config: AcceleratorConfig,
+        operator: ElsaAttention,
+        plan: FaultPlan,
+        policy: FailoverPolicy,
+    ) -> Self {
+        match Self::try_new(accel_config, operator, plan, policy) {
+            Ok(server) => server,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds the server, reporting an operator/hardware misfit as a typed
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Misfit`] when the hardware configuration is
+    /// invalid or the operator's dimensions do not match it.
+    pub fn try_new(
+        accel_config: AcceleratorConfig,
+        operator: ElsaAttention,
+        plan: FaultPlan,
+        policy: FailoverPolicy,
+    ) -> Result<Self, RuntimeError> {
+        // Same admission rules as the fault-free server.
+        let _ = crate::serving::InferenceServer::try_new(accel_config, operator.clone())?;
+        Ok(Self { accel_config, operator, plan, policy })
+    }
+
+    /// The governing fault plan.
+    #[must_use]
+    pub const fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The dispatch policy.
+    #[must_use]
+    pub const fn policy(&self) -> &FailoverPolicy {
+        &self.policy
+    }
+
+    /// Serves a batch of simultaneously arriving requests FIFO over the
+    /// surviving accelerators.
+    ///
+    /// The approximate pipeline runs once per request (fanned out over
+    /// worker threads exactly like the fault-free server — per-request
+    /// results are unit-independent); the serial dispatch fold then charges
+    /// service times, faults, retries, and degradations to units in arrival
+    /// order, so the batch is deterministic at any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Request`] when a request does not fit the
+    /// hardware (the batch is rejected up front), or
+    /// [`RuntimeError::NoHealthyUnits`] when the plan killed every unit in
+    /// the pool.
+    pub fn serve(&self, requests: &[AttentionInputs]) -> Result<ServedBatch, RuntimeError> {
+        self.dispatch(requests, true)
+    }
+
+    /// Like [`FaultTolerantServer::serve`], but discards the output
+    /// matrices and returns only the accounting report — the exact
+    /// capability (and cost) of the fault-free
+    /// [`InferenceServer::serve`](crate::InferenceServer::serve), which is
+    /// why the zero-fault overhead benchmark compares against this form.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`FaultTolerantServer::serve`].
+    pub fn serve_report(&self, requests: &[AttentionInputs]) -> Result<ServingReport, RuntimeError> {
+        Ok(self.dispatch(requests, false)?.report)
+    }
+
+    fn dispatch(
+        &self,
+        requests: &[AttentionInputs],
+        keep_outputs: bool,
+    ) -> Result<ServedBatch, RuntimeError> {
+        let accel = ElsaAccelerator::try_new(self.accel_config, self.operator.clone())?;
+        for (index, request) in requests.iter().enumerate() {
+            accel
+                .try_check_fit(request)
+                .map_err(|source| RuntimeError::Request { index, source })?;
+        }
+        let units = self.accel_config.num_accelerators;
+        let mut health = HealthTracker::new(units, self.policy.quarantine_after);
+        for unit in 0..units {
+            if self.plan.unit_dead(unit) {
+                health.mark_dead(unit);
+            }
+        }
+        if health.num_available() == 0 {
+            return Err(RuntimeError::NoHealthyUnits);
+        }
+
+        // Unit-independent precompute, identical to the fault-free server:
+        // the approximate run, its service seconds, and the numeric-guard
+        // verdict on the clean result. Guard checks are unit-independent,
+        // so they fan out here instead of serializing in the fold; the
+        // output matrix is dropped immediately unless the caller wants it.
+        let run_one = |i: usize| {
+            let run = accel.run(&requests[i]);
+            Precomputed {
+                service_s: run.cycles.seconds(&self.accel_config),
+                trips: guard_trips(&run),
+                output: keep_outputs.then_some(run.output),
+            }
+        };
+        let work: usize = requests
+            .iter()
+            .map(|r| r.num_queries().saturating_mul(r.num_keys()).saturating_mul(r.dim()))
+            .sum();
+        let runs: Vec<Precomputed> = if elsa_parallel::beneficial(work) && requests.len() > 1 {
+            elsa_parallel::par_map_indexed(requests.len(), run_one)
+        } else {
+            (0..requests.len()).map(run_one).collect()
+        };
+
+        let mut free_at = vec![0.0f64; units];
+        let mut records = Vec::with_capacity(requests.len());
+        let mut outputs = Vec::with_capacity(requests.len());
+        for (i, (request, mut run)) in requests.iter().zip(runs.into_iter()).enumerate() {
+            let mut retries = 0u32;
+            let mut attempt = 0u32;
+            let outcome = loop {
+                // FIFO over survivors: the available unit that frees first.
+                let Some(unit) = health
+                    .available_units()
+                    .into_iter()
+                    .min_by(|&a, &b| free_at[a].partial_cmp(&free_at[b]).expect("finite times"))
+                else {
+                    // Quarantine is probation, not death: if faults emptied
+                    // the pool but survivors exist, put the quarantined
+                    // units back on probation (circuit-breaker half-open)
+                    // instead of failing every remaining request.
+                    for u in 0..units {
+                        health.reinstate(u);
+                    }
+                    if health.num_available() == 0 {
+                        // The whole pool is dead.
+                        break Outcome::Failed {
+                            gave_up_at_s: free_at.iter().copied().fold(0.0, f64::max),
+                        };
+                    }
+                    continue;
+                };
+                if let Some(deadline) = self.policy.deadline_s {
+                    if free_at[unit] > deadline {
+                        break Outcome::Failed { gave_up_at_s: free_at[unit] };
+                    }
+                }
+                let slowdown = self.plan.straggler_factor(unit, i);
+                if self.plan.transient_fault(unit, i, attempt) {
+                    // The failed attempt still occupied the unit.
+                    free_at[unit] += run.service_s * slowdown;
+                    health.record_fault(unit);
+                    retries += 1;
+                    attempt += 1;
+                    if retries > self.policy.max_retries {
+                        break Outcome::Failed { gave_up_at_s: free_at[unit] };
+                    }
+                    continue;
+                }
+                health.record_success(unit);
+                // The guard trips on a naturally corrupt result (the clean
+                // verdict, precomputed above) or on planned corruption:
+                // every `CorruptionKind` defeats `!(v.abs() <
+                // SATURATION_LIMIT)` or empties the candidate set, so a
+                // poisoned result never passes (enforced by
+                // `elsa_fault::inject` tests and the chaos battery).
+                if run.trips || self.plan.corruption(unit, i).is_some() {
+                    let base = accel.run_base(request);
+                    let service_s =
+                        (run.service_s + base.cycles.seconds(&self.accel_config)) * slowdown;
+                    break Outcome::Served {
+                        unit,
+                        service_s,
+                        degraded: true,
+                        output: keep_outputs.then_some(base.output),
+                    };
+                }
+                let service_s = run.service_s * slowdown;
+                break Outcome::Served { unit, service_s, degraded: false, output: run.output.take() };
+            };
+            match outcome {
+                Outcome::Served { unit, service_s, degraded, output } => {
+                    free_at[unit] += service_s;
+                    records.push(RequestRecord {
+                        n_real: request.num_keys(),
+                        service_s,
+                        completion_s: free_at[unit],
+                        degraded,
+                        retries,
+                        failed: false,
+                    });
+                    outputs.push(output);
+                }
+                Outcome::Failed { gave_up_at_s } => {
+                    records.push(RequestRecord {
+                        n_real: request.num_keys(),
+                        service_s: 0.0,
+                        completion_s: gave_up_at_s,
+                        degraded: false,
+                        retries,
+                        failed: true,
+                    });
+                    outputs.push(None);
+                }
+            }
+        }
+        Ok(ServedBatch { report: ServingReport { records }, outputs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elsa_core::attention::ElsaParams;
+    use elsa_fault::FaultRates;
+    use elsa_linalg::SeededRng;
+    use elsa_workloads::{DatasetKind, ModelKind, Workload};
+
+    fn operator(seed: u64) -> ElsaAttention {
+        let workload = Workload { model: ModelKind::SasRec, dataset: DatasetKind::MovieLens1M };
+        let mut rng = SeededRng::new(seed);
+        let train = workload.generate_batch(1, &mut rng);
+        ElsaAttention::learn(ElsaParams::for_dims(64, 64, &mut SeededRng::new(seed + 1)), &train, 1.0)
+    }
+
+    fn config() -> AcceleratorConfig {
+        AcceleratorConfig { n_max: 200, num_accelerators: 4, ..AcceleratorConfig::paper() }
+    }
+
+    fn requests(count: usize, seed: u64) -> Vec<AttentionInputs> {
+        let workload = Workload { model: ModelKind::SasRec, dataset: DatasetKind::MovieLens1M };
+        let mut rng = SeededRng::new(seed);
+        workload.generate_batch(count, &mut rng)
+    }
+
+    #[test]
+    fn zero_fault_serving_matches_the_plain_server() {
+        let server = FaultTolerantServer::new(
+            config(),
+            operator(1),
+            FaultPlan::none(),
+            FailoverPolicy::default(),
+        );
+        let plain = crate::serving::InferenceServer::new(config(), operator(1));
+        let batch = requests(16, 2);
+        let served = server.serve(&batch).expect("no faults planned");
+        assert_eq!(served.report, plain.serve(&batch));
+        assert!(served.outputs.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn serve_report_matches_serve_under_chaos() {
+        let plan = FaultPlan::seeded(17, elsa_fault::FaultRates::chaotic());
+        let server =
+            FaultTolerantServer::new(config(), operator(18), plan, FailoverPolicy::default());
+        let batch = requests(12, 19);
+        match (server.serve(&batch), server.serve_report(&batch)) {
+            (Ok(served), Ok(report)) => assert_eq!(served.report, report),
+            (Err(a), Err(b)) => assert_eq!(a, b),
+            (a, b) => panic!("outcomes diverged: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn all_units_dead_is_a_typed_error() {
+        let plan = FaultPlan::seeded(3, FaultRates { unit_death: 1.0, ..FaultRates::none() });
+        let server =
+            FaultTolerantServer::new(config(), operator(4), plan, FailoverPolicy::default());
+        assert_eq!(
+            server.serve(&requests(4, 5)).unwrap_err(),
+            RuntimeError::NoHealthyUnits
+        );
+    }
+
+    #[test]
+    fn permanent_transients_exhaust_the_retry_budget() {
+        let plan = FaultPlan::seeded(6, FaultRates { transient: 1.0, ..FaultRates::none() });
+        let policy = FailoverPolicy { max_retries: 2, quarantine_after: 100, ..Default::default() };
+        let server = FaultTolerantServer::new(config(), operator(7), plan, policy);
+        let served = server.serve(&requests(3, 8)).expect("pool itself is healthy");
+        assert_eq!(served.report.failed_count(), 3);
+        assert_eq!(served.report.served_count(), 0);
+        assert!(served.report.records.iter().all(|r| r.retries == 3), "budget: 1 + max_retries");
+        assert!(served.outputs.iter().all(Option::is_none));
+        assert_eq!(served.report.throughput_per_s(), 0.0);
+    }
+
+    #[test]
+    fn tight_deadline_fails_queued_requests() {
+        let cfg = AcceleratorConfig { num_accelerators: 1, ..config() };
+        let policy = FailoverPolicy { deadline_s: Some(0.0), ..Default::default() };
+        let server =
+            FaultTolerantServer::new(cfg, operator(9), FaultPlan::none(), policy);
+        let served = server.serve(&requests(6, 10)).expect("healthy pool");
+        // The single unit is free at t = 0, so exactly one request starts
+        // in time; everything queued behind it misses the deadline.
+        assert_eq!(served.report.served_count(), 1);
+        assert_eq!(served.report.failed_count(), 5);
+    }
+
+    #[test]
+    fn forced_corruption_degrades_every_request_to_exact() {
+        let plan = FaultPlan::seeded(11, FaultRates { corrupt: 1.0, ..FaultRates::none() });
+        let server =
+            FaultTolerantServer::new(config(), operator(12), plan, FailoverPolicy::default());
+        let batch = requests(8, 13);
+        let served = server.serve(&batch).expect("corruption is survivable");
+        assert_eq!(served.report.degraded_count(), batch.len());
+        assert_eq!(served.report.failed_count(), 0);
+        let accel = ElsaAccelerator::new(config(), operator(12));
+        for (request, output) in batch.iter().zip(&served.outputs) {
+            let output = output.as_ref().expect("degraded, not failed");
+            assert!(output.as_slice().iter().all(|v| v.is_finite()), "no NaN ever served");
+            let exact = accel.run_base(request).output;
+            let bits = |m: &Matrix| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(output), bits(&exact), "degraded output is exact attention");
+        }
+    }
+
+    #[test]
+    fn degraded_requests_pay_the_exact_attention_time() {
+        let plan = FaultPlan::seeded(14, FaultRates { corrupt: 1.0, ..FaultRates::none() });
+        let cfg = AcceleratorConfig { num_accelerators: 1, ..config() };
+        let healthy = FaultTolerantServer::new(
+            cfg,
+            operator(15),
+            FaultPlan::none(),
+            FailoverPolicy::default(),
+        );
+        let corrupted =
+            FaultTolerantServer::new(cfg, operator(15), plan, FailoverPolicy::default());
+        let batch = requests(4, 16);
+        let clean = healthy.serve(&batch).expect("healthy");
+        let degraded = corrupted.serve(&batch).expect("survivable");
+        for (c, d) in clean.report.records.iter().zip(&degraded.report.records) {
+            assert!(d.degraded);
+            assert!(d.service_s > c.service_s, "fallback adds the exact-attention run");
+        }
+    }
+}

@@ -22,19 +22,29 @@
 //! * [`offload`] — [`offload::ModelOffload`]: a whole-model driver that runs
 //!   every attention sub-layer of a transformer through the cycle-level
 //!   simulator and combines the result with the host-side (GPU) cost of the
-//!   non-attention work, yielding the end-to-end speedups of §V-C.
+//!   non-attention work, yielding the end-to-end speedups of §V-C;
+//! * [`error`] — [`error::RuntimeError`]: typed errors for everything a
+//!   caller can get wrong, so serving keeps running instead of panicking;
+//! * [`failover`] — [`failover::FaultTolerantServer`]: the chaos-hardened
+//!   FIFO server: failover across surviving accelerators under a seeded
+//!   `elsa-fault` plan, quarantine of repeatedly faulting units, and
+//!   graceful degradation to exact attention when a numeric guard trips.
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod error;
+pub mod failover;
 pub mod offload;
 pub mod quality;
 pub mod scheduler;
 pub mod serving;
 pub mod thresholds;
 
+pub use error::RuntimeError;
+pub use failover::{FailoverPolicy, FaultTolerantServer, ServedBatch};
 pub use offload::{ModelOffload, ModelReport};
 pub use quality::DeepProxyModel;
-pub use serving::{InferenceServer, ServingReport};
+pub use serving::{InferenceServer, RequestRecord, ServingReport};
 pub use scheduler::{BatchScheduler, SchedulePolicy};
 pub use thresholds::ThresholdTable;

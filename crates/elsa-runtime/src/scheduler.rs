@@ -10,6 +10,8 @@
 //! command to initiate the ELSA accelerator"; inputs pass by reference, so
 //! no copy cost is modeled).
 
+use crate::error::RuntimeError;
+
 /// Job assignment policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedulePolicy {
@@ -74,12 +76,34 @@ impl BatchScheduler {
     ///
     /// # Panics
     ///
-    /// Panics if `num_accelerators == 0` or the overhead is negative.
+    /// Panics if `num_accelerators == 0` or the overhead is negative; see
+    /// [`BatchScheduler::try_new`] for the non-panicking form.
     #[must_use]
     pub fn new(num_accelerators: usize, command_overhead_s: f64, policy: SchedulePolicy) -> Self {
-        assert!(num_accelerators > 0, "need at least one accelerator");
-        assert!(command_overhead_s >= 0.0, "overhead cannot be negative");
-        Self { num_accelerators, command_overhead_s, policy }
+        match Self::try_new(num_accelerators, command_overhead_s, policy) {
+            Ok(scheduler) => scheduler,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a scheduler, reporting invalid parameters as a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::NoAccelerators`] or
+    /// [`RuntimeError::NegativeOverhead`].
+    pub fn try_new(
+        num_accelerators: usize,
+        command_overhead_s: f64,
+        policy: SchedulePolicy,
+    ) -> Result<Self, RuntimeError> {
+        if num_accelerators == 0 {
+            return Err(RuntimeError::NoAccelerators);
+        }
+        if !(command_overhead_s >= 0.0) {
+            return Err(RuntimeError::NegativeOverhead { overhead_s: command_overhead_s });
+        }
+        Ok(Self { num_accelerators, command_overhead_s, policy })
     }
 
     /// The paper's deployment: twelve accelerators, 1 µs command issue,
@@ -98,6 +122,41 @@ impl BatchScheduler {
     /// Assigns the jobs (given their latencies in seconds) to accelerators.
     #[must_use]
     pub fn schedule(&self, job_latencies_s: &[f64]) -> Schedule {
+        self.schedule_over(job_latencies_s, &vec![true; self.num_accelerators])
+            .expect("all units available")
+    }
+
+    /// Assigns the jobs over the subset of accelerators marked available —
+    /// the rebalancing step after a health tracker quarantines units. With
+    /// every unit available this is exactly [`BatchScheduler::schedule`].
+    ///
+    /// `available` holds one flag per accelerator; `per_accelerator_s` in
+    /// the result still covers all units (quarantined ones stay at `0.0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::NoHealthyUnits`] when no unit is available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `available.len()` differs from the configured accelerator
+    /// count (an internal invariant: the mask comes from a tracker sized off
+    /// this scheduler).
+    pub fn schedule_over(
+        &self,
+        job_latencies_s: &[f64],
+        available: &[bool],
+    ) -> Result<Schedule, RuntimeError> {
+        assert_eq!(
+            available.len(),
+            self.num_accelerators,
+            "availability mask must cover every accelerator"
+        );
+        let survivors: Vec<usize> =
+            (0..self.num_accelerators).filter(|&u| available[u]).collect();
+        if survivors.is_empty() {
+            return Err(RuntimeError::NoHealthyUnits);
+        }
         let mut per_accel = vec![0.0f64; self.num_accelerators];
         let mut assignment = vec![0usize; job_latencies_s.len()];
         match self.policy {
@@ -109,24 +168,26 @@ impl BatchScheduler {
                         .expect("finite job latencies")
                 });
                 for job in order {
-                    let (accel, _) = per_accel
+                    let accel = survivors
                         .iter()
-                        .enumerate()
-                        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite loads"))
-                        .expect("at least one accelerator");
+                        .copied()
+                        .min_by(|&a, &b| {
+                            per_accel[a].partial_cmp(&per_accel[b]).expect("finite loads")
+                        })
+                        .expect("at least one survivor");
                     per_accel[accel] += job_latencies_s[job] + self.command_overhead_s;
                     assignment[job] = accel;
                 }
             }
             SchedulePolicy::RoundRobin => {
                 for (job, &latency) in job_latencies_s.iter().enumerate() {
-                    let accel = job % self.num_accelerators;
+                    let accel = survivors[job % survivors.len()];
                     per_accel[accel] += latency + self.command_overhead_s;
                     assignment[job] = accel;
                 }
             }
         }
-        Schedule { per_accelerator_s: per_accel, assignment }
+        Ok(Schedule { per_accelerator_s: per_accel, assignment })
     }
 }
 
@@ -197,5 +258,52 @@ mod tests {
     #[should_panic(expected = "at least one accelerator")]
     fn rejects_zero_accelerators() {
         let _ = BatchScheduler::new(0, 0.0, SchedulePolicy::RoundRobin);
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        assert_eq!(
+            BatchScheduler::try_new(0, 0.0, SchedulePolicy::RoundRobin),
+            Err(RuntimeError::NoAccelerators)
+        );
+        assert_eq!(
+            BatchScheduler::try_new(2, -0.5, SchedulePolicy::RoundRobin),
+            Err(RuntimeError::NegativeOverhead { overhead_s: -0.5 })
+        );
+        assert!(BatchScheduler::try_new(2, 0.5, SchedulePolicy::RoundRobin).is_ok());
+    }
+
+    #[test]
+    fn schedule_over_all_units_matches_schedule() {
+        for policy in [SchedulePolicy::LongestFirst, SchedulePolicy::RoundRobin] {
+            let s = BatchScheduler::new(3, 1.0e-6, policy);
+            let jobs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0];
+            let full = s.schedule(&jobs);
+            let over = s.schedule_over(&jobs, &[true, true, true]).expect("all available");
+            assert_eq!(full, over);
+        }
+    }
+
+    #[test]
+    fn schedule_over_survivors_skips_quarantined_units() {
+        for policy in [SchedulePolicy::LongestFirst, SchedulePolicy::RoundRobin] {
+            let s = BatchScheduler::new(4, 0.0, policy);
+            let jobs = [2.0, 2.0, 2.0, 2.0];
+            let schedule =
+                s.schedule_over(&jobs, &[false, true, false, true]).expect("two survivors");
+            assert!(schedule.assignment.iter().all(|&a| a == 1 || a == 3));
+            assert_eq!(schedule.per_accelerator_s[0], 0.0);
+            assert_eq!(schedule.per_accelerator_s[2], 0.0);
+            assert!((schedule.makespan_s() - 4.0).abs() < 1e-12, "rebalanced over survivors");
+        }
+    }
+
+    #[test]
+    fn schedule_over_empty_pool_is_an_error() {
+        let s = BatchScheduler::new(2, 0.0, SchedulePolicy::LongestFirst);
+        assert_eq!(
+            s.schedule_over(&[1.0], &[false, false]),
+            Err(RuntimeError::NoHealthyUnits)
+        );
     }
 }

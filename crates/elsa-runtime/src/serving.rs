@@ -11,7 +11,9 @@
 use elsa_attention::exact::AttentionInputs;
 use elsa_core::ElsaAttention;
 use elsa_linalg::ops;
-use elsa_sim::{AcceleratorConfig, ElsaAccelerator};
+use elsa_sim::{AcceleratorConfig, ElsaAccelerator, FitError};
+
+use crate::error::RuntimeError;
 
 /// Completion record of one request.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,11 +23,35 @@ pub struct RequestRecord {
     /// Pure execution latency on its accelerator.
     pub service_s: f64,
     /// Time from arrival (all requests arrive at t = 0) to completion,
-    /// including queueing behind earlier requests.
+    /// including queueing behind earlier requests. For a failed request this
+    /// is the time at which the dispatcher gave up.
     pub completion_s: f64,
+    /// The approximate pipeline tripped a numeric guard and the request was
+    /// served by exact attention instead.
+    pub degraded: bool,
+    /// Failed attempts (transient faults) before the final outcome.
+    pub retries: u32,
+    /// The request was never served: deadline or retry budget exhausted, or
+    /// no healthy unit remained.
+    pub failed: bool,
+}
+
+impl RequestRecord {
+    /// A record for a request served cleanly on the first attempt (the only
+    /// outcome the fault-free [`InferenceServer`] produces).
+    #[must_use]
+    pub const fn served(n_real: usize, service_s: f64, completion_s: f64) -> Self {
+        Self { n_real, service_s, completion_s, degraded: false, retries: 0, failed: false }
+    }
 }
 
 /// Aggregated serving metrics.
+///
+/// Latency and throughput statistics are computed **over the survivors**
+/// (records with `failed == false`): a request the dispatcher gave up on has
+/// no meaningful completion latency, and folding its give-up time into a
+/// percentile would reward fast failures. Empty and all-failed record sets
+/// yield `0.0` everywhere — never `NaN`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServingReport {
     /// Per-request records, in arrival order.
@@ -33,35 +59,71 @@ pub struct ServingReport {
 }
 
 impl ServingReport {
-    /// Completion-time percentile (e.g. 50.0, 95.0, 99.0).
+    fn survivors(&self) -> impl Iterator<Item = &RequestRecord> {
+        self.records.iter().filter(|r| !r.failed)
+    }
+
+    /// Completion-time percentile (e.g. 50.0, 95.0, 99.0) over the
+    /// survivors; `0.0` when no request survived.
     #[must_use]
     pub fn completion_percentile_s(&self, q: f64) -> f64 {
-        let times: Vec<f64> = self.records.iter().map(|r| r.completion_s).collect();
-        ops::percentile(&times, q)
+        let times: Vec<f64> = self.survivors().map(|r| r.completion_s).collect();
+        if times.is_empty() {
+            0.0
+        } else {
+            ops::percentile(&times, q)
+        }
     }
 
-    /// Mean pure service time.
+    /// Mean pure service time over the survivors; `0.0` when no request
+    /// survived.
     #[must_use]
     pub fn mean_service_s(&self) -> f64 {
-        if self.records.is_empty() {
-            return 0.0;
+        let (sum, count) =
+            self.survivors().fold((0.0f64, 0usize), |(s, c), r| (s + r.service_s, c + 1));
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
         }
-        self.records.iter().map(|r| r.service_s).sum::<f64>() / self.records.len() as f64
     }
 
-    /// Aggregate throughput: requests divided by the last completion time.
+    /// Aggregate throughput: surviving requests divided by their last
+    /// completion time; `0.0` when no request survived.
     #[must_use]
     pub fn throughput_per_s(&self) -> f64 {
-        let makespan = self
-            .records
-            .iter()
-            .map(|r| r.completion_s)
-            .fold(0.0f64, f64::max);
+        let makespan = self.survivors().map(|r| r.completion_s).fold(0.0f64, f64::max);
         if makespan == 0.0 {
             0.0
         } else {
-            self.records.len() as f64 / makespan
+            self.survivors().count() as f64 / makespan
         }
+    }
+
+    /// Requests served (approximately or degraded-to-exact).
+    #[must_use]
+    pub fn served_count(&self) -> usize {
+        self.survivors().count()
+    }
+
+    /// Requests the dispatcher gave up on.
+    #[must_use]
+    pub fn failed_count(&self) -> usize {
+        self.records.len() - self.served_count()
+    }
+
+    /// Requests that fell back to exact attention after a numeric guard
+    /// tripped.
+    #[must_use]
+    pub fn degraded_count(&self) -> usize {
+        self.records.iter().filter(|r| r.degraded).count()
+    }
+
+    /// Total failed attempts across all requests (including requests that
+    /// ultimately failed).
+    #[must_use]
+    pub fn total_retries(&self) -> u64 {
+        self.records.iter().map(|r| u64::from(r.retries)).sum()
     }
 }
 
@@ -77,12 +139,43 @@ impl InferenceServer {
     ///
     /// # Panics
     ///
-    /// Panics if the operator does not fit the hardware configuration.
+    /// Panics if the operator does not fit the hardware configuration; see
+    /// [`InferenceServer::try_new`] for the non-panicking form.
     #[must_use]
     pub fn new(accel_config: AcceleratorConfig, operator: ElsaAttention) -> Self {
-        accel_config.validate();
-        assert_eq!(operator.params().hasher().dim(), accel_config.d);
-        Self { accel_config, operator }
+        match Self::try_new(accel_config, operator) {
+            Ok(server) => server,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds the server, reporting an operator/hardware misfit as a typed
+    /// error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Misfit`] when the hardware configuration is
+    /// invalid or the operator's dimensions do not match it.
+    pub fn try_new(
+        accel_config: AcceleratorConfig,
+        operator: ElsaAttention,
+    ) -> Result<Self, RuntimeError> {
+        accel_config.try_validate()?;
+        let operator_d = operator.params().hasher().dim();
+        if operator_d != accel_config.d {
+            return Err(RuntimeError::Misfit(FitError::OperatorDim {
+                operator_d,
+                hardware_d: accel_config.d,
+            }));
+        }
+        let operator_k = operator.params().hasher().k();
+        if operator_k != accel_config.k {
+            return Err(RuntimeError::Misfit(FitError::OperatorHashLength {
+                operator_k,
+                hardware_k: accel_config.k,
+            }));
+        }
+        Ok(Self { accel_config, operator })
     }
 
     /// Serves a batch of requests arriving simultaneously, dispatching them
@@ -95,10 +188,31 @@ impl InferenceServer {
     ///
     /// # Panics
     ///
-    /// Panics if any request exceeds the hardware's `n_max`.
+    /// Panics if any request exceeds the hardware's `n_max`; see
+    /// [`InferenceServer::try_serve`] for the non-panicking form.
     #[must_use]
     pub fn serve(&self, requests: &[AttentionInputs]) -> ServingReport {
-        let accel = ElsaAccelerator::new(self.accel_config, self.operator.clone());
+        match self.try_serve(requests) {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Serves a batch, reporting a request that does not fit the hardware
+    /// as a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Request`] naming the first offending request
+    /// when one exceeds the hardware's `n_max` or has the wrong head
+    /// dimension; the batch is rejected before any work is simulated.
+    pub fn try_serve(&self, requests: &[AttentionInputs]) -> Result<ServingReport, RuntimeError> {
+        let accel = ElsaAccelerator::try_new(self.accel_config, self.operator.clone())?;
+        for (index, request) in requests.iter().enumerate() {
+            accel
+                .try_check_fit(request)
+                .map_err(|source| RuntimeError::Request { index, source })?;
+        }
         let run_one =
             |i: usize| accel.run(&requests[i]).cycles.seconds(&self.accel_config);
         let work: usize = requests
@@ -120,13 +234,9 @@ impl InferenceServer {
                 .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
                 .expect("at least one accelerator");
             free_at[idx] += service;
-            records.push(RequestRecord {
-                n_real: request.num_keys(),
-                service_s: service,
-                completion_s: free_at[idx],
-            });
+            records.push(RequestRecord::served(request.num_keys(), service, free_at[idx]));
         }
-        ServingReport { records }
+        Ok(ServingReport { records })
     }
 }
 
@@ -205,6 +315,98 @@ mod tests {
         let report = server.serve(&[]);
         assert_eq!(report.throughput_per_s(), 0.0);
         assert_eq!(report.mean_service_s(), 0.0);
+        assert_eq!(report.completion_percentile_s(99.0), 0.0);
+        assert_eq!(report.served_count(), 0);
+        assert_eq!(report.failed_count(), 0);
+    }
+
+    #[test]
+    fn all_failed_records_yield_zero_metrics_without_nan() {
+        let report = ServingReport {
+            records: vec![
+                RequestRecord {
+                    n_real: 10,
+                    service_s: 0.0,
+                    completion_s: 1.0,
+                    degraded: false,
+                    retries: 3,
+                    failed: true,
+                },
+                RequestRecord {
+                    n_real: 20,
+                    service_s: 0.0,
+                    completion_s: 2.0,
+                    degraded: false,
+                    retries: 5,
+                    failed: true,
+                },
+            ],
+        };
+        for value in [
+            report.throughput_per_s(),
+            report.mean_service_s(),
+            report.completion_percentile_s(50.0),
+            report.completion_percentile_s(99.0),
+        ] {
+            assert_eq!(value, 0.0, "all-failed batches must report 0, never NaN");
+            assert!(!value.is_nan());
+        }
+        assert_eq!(report.served_count(), 0);
+        assert_eq!(report.failed_count(), 2);
+        assert_eq!(report.total_retries(), 8);
+    }
+
+    #[test]
+    fn failed_records_are_excluded_from_latency_metrics() {
+        let served = RequestRecord::served(10, 2.0, 4.0);
+        let failed = RequestRecord {
+            n_real: 10,
+            service_s: 0.0,
+            // A fast give-up must not drag percentiles down, nor a slow one
+            // inflate the makespan.
+            completion_s: 1000.0,
+            degraded: false,
+            retries: 16,
+            failed: true,
+        };
+        let report = ServingReport { records: vec![served, failed] };
+        assert_eq!(report.completion_percentile_s(99.0), 4.0);
+        assert_eq!(report.mean_service_s(), 2.0);
+        assert_eq!(report.throughput_per_s(), 1.0 / 4.0);
+        assert_eq!(report.served_count(), 1);
+        assert_eq!(report.failed_count(), 1);
+        assert_eq!(report.total_retries(), 16);
+    }
+
+    #[test]
+    fn try_new_rejects_misfit_operator_without_panicking() {
+        let workload = Workload { model: ModelKind::SasRec, dataset: DatasetKind::MovieLens1M };
+        let mut rng = SeededRng::new(11);
+        let train = workload.generate_batch(1, &mut rng);
+        let operator = ElsaAttention::learn(
+            ElsaParams::for_dims(64, 64, &mut SeededRng::new(12)),
+            &train,
+            1.0,
+        );
+        let config = AcceleratorConfig { d: 32, ..AcceleratorConfig::paper() };
+        let err = InferenceServer::try_new(config, operator).expect_err("operator d = 64 vs 32");
+        assert!(err.to_string().contains("does not fit hardware d"));
+    }
+
+    #[test]
+    fn try_serve_rejects_oversized_request_without_panicking() {
+        let server = server(13);
+        let workload = Workload { model: ModelKind::SasRec, dataset: DatasetKind::MovieLens1M };
+        let mut rng = SeededRng::new(14);
+        let mut batch = workload.generate_batch(3, &mut rng);
+        // server() caps the hardware at n_max = 200.
+        let mut oversized_rng = SeededRng::new(15);
+        let mut mk =
+            || elsa_linalg::Matrix::from_fn(300, 64, |_, _| oversized_rng.standard_normal() as f32);
+        batch.insert(1, AttentionInputs::new(mk(), mk(), mk()));
+        let err = server.try_serve(&batch).expect_err("request 1 exceeds n_max");
+        assert!(matches!(err, crate::RuntimeError::Request { index: 1, .. }));
+        assert!(err.to_string().contains("exceeds hardware n_max"));
     }
 
     #[test]

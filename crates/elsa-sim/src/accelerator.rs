@@ -7,6 +7,7 @@ use elsa_linalg::Matrix;
 use crate::config::AcceleratorConfig;
 use crate::cost::EnergyBreakdown;
 use crate::cycle::{self, CycleReport};
+use crate::fit::FitError;
 use crate::functional::QuantizedElsaAttention;
 
 /// Everything one self-attention invocation produced on the accelerator.
@@ -68,10 +69,32 @@ impl ElsaAccelerator {
     /// (`d` mismatch or `k` mismatch), or the config is inconsistent.
     #[must_use]
     pub fn new(config: AcceleratorConfig, operator: ElsaAttention) -> Self {
-        config.validate();
-        assert_eq!(operator.params().hasher().dim(), config.d, "operator d does not fit hardware");
-        assert_eq!(operator.params().hasher().k(), config.k, "operator k does not fit hardware");
-        Self { config, operator }
+        match Self::try_new(config, operator) {
+            Ok(accel) => accel,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Non-panicking [`new`](Self::new): rejects an operator/hardware misfit
+    /// as a typed error instead of crashing, so deployment-time validation
+    /// can be routed to the caller (the serving stack in `elsa-runtime`
+    /// builds on this).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError`] when the config is inconsistent or the
+    /// operator's `d`/`k` do not match the hardware.
+    pub fn try_new(config: AcceleratorConfig, operator: ElsaAttention) -> Result<Self, FitError> {
+        config.try_validate()?;
+        let operator_d = operator.params().hasher().dim();
+        if operator_d != config.d {
+            return Err(FitError::OperatorDim { operator_d, hardware_d: config.d });
+        }
+        let operator_k = operator.params().hasher().k();
+        if operator_k != config.k {
+            return Err(FitError::OperatorHashLength { operator_k, hardware_k: config.k });
+        }
+        Ok(Self { config, operator })
     }
 
     /// The pipeline configuration.
@@ -94,14 +117,28 @@ impl ElsaAccelerator {
     /// dimension differs from the configured `d`.
     #[must_use]
     pub fn run(&self, inputs: &AttentionInputs) -> RunReport {
-        self.check_fit(inputs);
+        match self.try_run(inputs) {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Non-panicking [`run`](Self::run): a malformed invocation (too many
+    /// keys, wrong head dimension) is reported as a typed error rather than
+    /// taking down the whole serving process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError::RequestTooLarge`] or [`FitError::RequestDim`].
+    pub fn try_run(&self, inputs: &AttentionInputs) -> Result<RunReport, FitError> {
+        self.try_check_fit(inputs)?;
         let (candidates, stats) = self.operator.candidates(inputs);
         let output = elsa_attention::exact::attention_with_candidates(
             inputs,
             &candidates,
             self.operator.params().scale(),
         );
-        self.report(inputs, output, stats, &candidates)
+        Ok(self.report(inputs, output, stats, &candidates))
     }
 
     /// Runs one invocation with the approximation *disabled*
@@ -136,13 +173,31 @@ impl ElsaAccelerator {
     }
 
     fn check_fit(&self, inputs: &AttentionInputs) {
-        assert!(
-            inputs.num_keys() <= self.config.n_max,
-            "invocation n = {} exceeds hardware n_max = {}",
-            inputs.num_keys(),
-            self.config.n_max
-        );
-        assert_eq!(inputs.dim(), self.config.d, "head dimension mismatch");
+        if let Err(e) = self.try_check_fit(inputs) {
+            panic!("{e}");
+        }
+    }
+
+    /// Checks whether an invocation fits this accelerator without running it
+    /// (the dispatch-time admission check of the serving stack).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError::RequestTooLarge`] or [`FitError::RequestDim`].
+    pub fn try_check_fit(&self, inputs: &AttentionInputs) -> Result<(), FitError> {
+        if inputs.num_keys() > self.config.n_max {
+            return Err(FitError::RequestTooLarge {
+                n: inputs.num_keys(),
+                n_max: self.config.n_max,
+            });
+        }
+        if inputs.dim() != self.config.d {
+            return Err(FitError::RequestDim {
+                input_d: inputs.dim(),
+                hardware_d: self.config.d,
+            });
+        }
+        Ok(())
     }
 
     fn report(
@@ -251,5 +306,44 @@ mod tests {
         let accel = accelerator(&train, 1.0, 14);
         let big = peaked_inputs(1024, 64, 15);
         let _ = accel.run(&big);
+    }
+
+    #[test]
+    fn try_run_reports_misfit_without_panicking() {
+        let train = peaked_inputs(64, 64, 16);
+        let accel = accelerator(&train, 1.0, 17);
+        let big = peaked_inputs(1024, 64, 18);
+        assert_eq!(
+            accel.try_run(&big).err(),
+            Some(FitError::RequestTooLarge { n: 1024, n_max: 512 })
+        );
+        let narrow = peaked_inputs(27, 27, 19);
+        assert_eq!(
+            accel.try_check_fit(&narrow),
+            Err(FitError::RequestDim { input_d: 27, hardware_d: 64 })
+        );
+        // A fitting invocation goes through the same checked path.
+        let small = peaked_inputs(64, 64, 20);
+        assert!(accel.try_run(&small).is_ok());
+    }
+
+    #[test]
+    fn try_new_reports_operator_misfit() {
+        let train = peaked_inputs(64, 64, 21);
+        let operator = ElsaAttention::learn(
+            ElsaParams::for_dims(64, 64, &mut SeededRng::new(22)),
+            std::slice::from_ref(&train),
+            1.0,
+        );
+        let narrow_hw = AcceleratorConfig { d: 32, k: 32, ..AcceleratorConfig::paper() };
+        assert_eq!(
+            ElsaAccelerator::try_new(narrow_hw, operator.clone()).err(),
+            Some(FitError::OperatorDim { operator_d: 64, hardware_d: 32 })
+        );
+        let bad_cfg = AcceleratorConfig { n_max: 510, ..AcceleratorConfig::paper() };
+        assert!(matches!(
+            ElsaAccelerator::try_new(bad_cfg, operator).err(),
+            Some(FitError::Config { .. })
+        ));
     }
 }

@@ -1,5 +1,7 @@
 //! Pipeline configuration of the ELSA accelerator (§IV-D, §V-C).
 
+use crate::fit::FitError;
+
 /// Static configuration of one ELSA accelerator instance.
 ///
 /// The paper's evaluation configuration (§V-C *Methodology*) is available as
@@ -82,11 +84,36 @@ impl AcceleratorConfig {
     /// `p_a` (banked memories hold `n/P_a` keys each), or the clock is not
     /// positive.
     pub fn validate(&self) {
-        assert!(self.n_max > 0 && self.d > 0 && self.k > 0, "dimensions must be positive");
-        assert!(self.p_a > 0 && self.p_c > 0 && self.m_h > 0 && self.m_o > 0);
-        assert!(self.clock_ghz > 0.0, "clock must be positive");
-        assert!(self.num_accelerators > 0);
-        assert_eq!(self.n_max % self.p_a, 0, "n_max must divide into P_a banks");
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// Non-panicking [`validate`](Self::validate): checks every internal
+    /// consistency constraint and reports the first violation as a typed
+    /// error, so serving-path callers can reject a bad deployment instead
+    /// of crashing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError::Config`] naming the violated constraint.
+    pub fn try_validate(&self) -> Result<(), FitError> {
+        if self.n_max == 0 || self.d == 0 || self.k == 0 {
+            return Err(FitError::Config { reason: "dimensions must be positive" });
+        }
+        if self.p_a == 0 || self.p_c == 0 || self.m_h == 0 || self.m_o == 0 {
+            return Err(FitError::Config { reason: "module counts must be positive" });
+        }
+        if !(self.clock_ghz > 0.0) {
+            return Err(FitError::Config { reason: "clock must be positive" });
+        }
+        if self.num_accelerators == 0 {
+            return Err(FitError::Config { reason: "need at least one accelerator" });
+        }
+        if self.n_max % self.p_a != 0 {
+            return Err(FitError::Config { reason: "n_max must divide into P_a banks" });
+        }
+        Ok(())
     }
 
     /// Cycles the hash computation module needs per vector:
@@ -239,5 +266,25 @@ mod tests {
     fn validate_rejects_unbankable_n() {
         let c = AcceleratorConfig { n_max: 510, ..AcceleratorConfig::paper() };
         c.validate();
+    }
+
+    #[test]
+    fn try_validate_reports_typed_errors() {
+        assert_eq!(AcceleratorConfig::paper().try_validate(), Ok(()));
+        let unbankable = AcceleratorConfig { n_max: 510, ..AcceleratorConfig::paper() };
+        assert_eq!(
+            unbankable.try_validate(),
+            Err(FitError::Config { reason: "n_max must divide into P_a banks" })
+        );
+        let no_units = AcceleratorConfig { num_accelerators: 0, ..AcceleratorConfig::paper() };
+        assert_eq!(
+            no_units.try_validate(),
+            Err(FitError::Config { reason: "need at least one accelerator" })
+        );
+        let stopped = AcceleratorConfig { clock_ghz: 0.0, ..AcceleratorConfig::paper() };
+        assert_eq!(
+            stopped.try_validate(),
+            Err(FitError::Config { reason: "clock must be positive" })
+        );
     }
 }

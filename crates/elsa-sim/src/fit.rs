@@ -1,0 +1,101 @@
+//! Typed operator/hardware misfit errors.
+//!
+//! The accelerator model historically panicked when a trained operator or an
+//! incoming invocation did not fit the configured hardware. A production
+//! serving stack cannot afford that: a single malformed request or a
+//! mis-deployed operator must surface as a recoverable error the dispatcher
+//! can route around (see `elsa-runtime` and `elsa-fault`). [`FitError`]
+//! carries every way an operator, configuration, or invocation can fail to
+//! fit; the panicking constructors remain as thin wrappers for callers that
+//! have already validated their inputs.
+
+use std::fmt;
+
+/// Why an operator, configuration, or invocation does not fit the hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitError {
+    /// The [`AcceleratorConfig`](crate::AcceleratorConfig) itself is
+    /// internally inconsistent.
+    Config {
+        /// Human-readable description of the violated constraint.
+        reason: &'static str,
+    },
+    /// The operator's head dimension differs from the hardware's `d`.
+    OperatorDim {
+        /// Head dimension the operator was trained for.
+        operator_d: usize,
+        /// Head dimension the hardware is configured for.
+        hardware_d: usize,
+    },
+    /// The operator's hash length differs from the hardware's `k`.
+    OperatorHashLength {
+        /// Hash length the operator was trained for.
+        operator_k: usize,
+        /// Hash length the hardware is configured for.
+        hardware_k: usize,
+    },
+    /// An invocation has more keys than the memories are sized for.
+    RequestTooLarge {
+        /// Number of keys in the invocation.
+        n: usize,
+        /// Maximum number of entities the hardware supports.
+        n_max: usize,
+    },
+    /// An invocation's head dimension differs from the configured `d`.
+    RequestDim {
+        /// Head dimension of the invocation.
+        input_d: usize,
+        /// Head dimension the hardware is configured for.
+        hardware_d: usize,
+    },
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FitError::Config { reason } => write!(f, "invalid accelerator config: {reason}"),
+            FitError::OperatorDim { operator_d, hardware_d } => write!(
+                f,
+                "operator d = {operator_d} does not fit hardware d = {hardware_d}"
+            ),
+            FitError::OperatorHashLength { operator_k, hardware_k } => write!(
+                f,
+                "operator k = {operator_k} does not fit hardware k = {hardware_k}"
+            ),
+            FitError::RequestTooLarge { n, n_max } => {
+                write!(f, "invocation n = {n} exceeds hardware n_max = {n_max}")
+            }
+            FitError::RequestDim { input_d, hardware_d } => write!(
+                f,
+                "head dimension mismatch: invocation d = {input_d}, hardware d = {hardware_d}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_keep_legacy_phrases() {
+        // The panicking wrappers format these errors, so the historical
+        // panic substrings (relied on by should_panic tests downstream)
+        // must survive in the Display output.
+        let too_large = FitError::RequestTooLarge { n: 1024, n_max: 512 };
+        assert!(too_large.to_string().contains("exceeds hardware n_max"));
+        let banks = FitError::Config { reason: "n_max must divide into P_a banks" };
+        assert!(banks.to_string().contains("banks"));
+        let dim = FitError::RequestDim { input_d: 32, hardware_d: 64 };
+        assert!(dim.to_string().contains("head dimension mismatch"));
+    }
+
+    #[test]
+    fn error_trait_object_safe() {
+        let e: Box<dyn std::error::Error> =
+            Box::new(FitError::OperatorDim { operator_d: 32, hardware_d: 64 });
+        assert!(e.to_string().contains("does not fit hardware"));
+    }
+}

@@ -31,6 +31,7 @@ pub mod arbiter;
 pub mod config;
 pub mod cost;
 pub mod cycle;
+pub mod fit;
 pub mod functional;
 pub mod timeline;
 
@@ -39,4 +40,5 @@ pub use arbiter::{ArbiterPolicy, BankDrainReport};
 pub use config::AcceleratorConfig;
 pub use cost::{AreaPowerTable, EnergyBreakdown};
 pub use cycle::CycleReport;
+pub use fit::FitError;
 pub use timeline::PipelineTimeline;

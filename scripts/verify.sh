@@ -24,6 +24,13 @@ ELSA_THREADS=1 cargo test -q --offline --workspace
 echo "==> workspace tests (all crates, ELSA_THREADS=4)"
 ELSA_THREADS=4 cargo test -q --offline --workspace
 
+echo "==> chaos battery (fixed seed, ELSA_THREADS=1 and 4)"
+# The fault-tolerance properties promise bit-identical serving reports at
+# any worker count and full accounting under any seeded FaultPlan; run them
+# under a pinned seed so a gate failure reproduces exactly.
+ELSA_TESTKIT_SEED=0xE15AFA17 ELSA_THREADS=1 cargo test -q --offline --test fault_tolerance
+ELSA_TESTKIT_SEED=0xE15AFA17 ELSA_THREADS=4 cargo test -q --offline --test fault_tolerance
+
 echo "==> bench smoke runs (each benchmark body once)"
 cargo test -q --offline --workspace --benches
 
@@ -65,6 +72,8 @@ manifests = ["Cargo.toml", *sorted(glob.glob("crates/*/Cargo.toml"))]
 # review so a layout change cannot silently drop the scan.
 assert "crates/elsa-parallel/Cargo.toml" in manifests, \
     "dep guard no longer sees crates/elsa-parallel/Cargo.toml"
+assert "crates/elsa-fault/Cargo.toml" in manifests, \
+    "dep guard no longer sees crates/elsa-fault/Cargo.toml"
 
 for manifest in manifests:
     with open(manifest, "rb") as f:

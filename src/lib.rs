@@ -19,7 +19,8 @@
 //! | [`sim`] | cycle/functional/energy simulation of the accelerator |
 //! | [`baselines`] | GPU / ideal / A³ / TPU cost models |
 //! | [`sparse`] | software sparse-attention baselines (LSH, local windows) |
-//! | [`runtime`] | host integration: per-sublayer thresholds, batch scheduling |
+//! | [`fault`] | deterministic fault injection: seeded chaos plans, health tracking |
+//! | [`runtime`] | host integration: thresholds, batch scheduling, failover serving |
 //! | [`workloads`] | model zoo, synthetic datasets, proxy metrics |
 //!
 //! # Quickstart
@@ -50,6 +51,8 @@ pub use elsa_core as algorithm;
 pub use elsa_attention as attention;
 /// Baseline device models (re-export of `elsa-baselines`).
 pub use elsa_baselines as baselines;
+/// Deterministic fault injection (re-export of `elsa-fault`).
+pub use elsa_fault as fault;
 /// Linear algebra substrate (re-export of `elsa-linalg`).
 pub use elsa_linalg as linalg;
 /// Deterministic parallel execution layer (re-export of `elsa-parallel`).
