@@ -40,8 +40,16 @@ impl Schedule {
     }
 
     /// Mean utilization relative to the makespan (1.0 = perfectly balanced).
+    ///
+    /// An empty `per_accelerator_s` (no units at all) reports `1.0`: there
+    /// is nothing to be unbalanced. The guard is independent of the
+    /// `makespan == 0` early-return so a caller constructing a `Schedule`
+    /// by hand can never divide by a zero unit count and produce `NaN`.
     #[must_use]
     pub fn balance(&self) -> f64 {
+        if self.per_accelerator_s.is_empty() {
+            return 1.0;
+        }
         let makespan = self.makespan_s();
         if makespan == 0.0 {
             return 1.0;
@@ -235,6 +243,25 @@ mod tests {
         let schedule = s.schedule(&[]);
         assert_eq!(schedule.makespan_s(), 0.0);
         assert_eq!(schedule.balance(), 1.0);
+    }
+
+    #[test]
+    fn balance_of_empty_schedule_is_one_not_nan() {
+        // A hand-built schedule with no units must not divide by zero even
+        // though makespan_s() is 0.0 (folding max over nothing).
+        let schedule = Schedule { per_accelerator_s: vec![], assignment: vec![] };
+        assert_eq!(schedule.balance(), 1.0);
+        assert!(!schedule.balance().is_nan());
+    }
+
+    #[test]
+    fn balance_of_single_unit_schedule_is_one() {
+        let s = BatchScheduler::new(1, 0.0, SchedulePolicy::LongestFirst);
+        let schedule = s.schedule(&[2.0, 3.0]);
+        assert!((schedule.balance() - 1.0).abs() < 1e-12, "one unit is always balanced");
+        // And an idle single unit hits the makespan == 0 path.
+        let idle = s.schedule(&[]);
+        assert_eq!(idle.balance(), 1.0);
     }
 
     #[test]

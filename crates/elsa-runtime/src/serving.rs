@@ -65,13 +65,18 @@ impl ServingReport {
 
     /// Completion-time percentile (e.g. 50.0, 95.0, 99.0) over the
     /// survivors; `0.0` when no request survived.
+    ///
+    /// `q` is clamped to `[0, 100]` (the `[0, 1]` quantile range) before it
+    /// reaches `ops::percentile`, so an out-of-range quantile from a caller
+    /// computing e.g. `100.0 * (1.0 + eps)` degrades to the max, never to an
+    /// out-of-bounds rank.
     #[must_use]
     pub fn completion_percentile_s(&self, q: f64) -> f64 {
         let times: Vec<f64> = self.survivors().map(|r| r.completion_s).collect();
         if times.is_empty() {
             0.0
         } else {
-            ops::percentile(&times, q)
+            ops::percentile(&times, q.clamp(0.0, 100.0))
         }
     }
 
@@ -277,6 +282,23 @@ mod tests {
         let p99 = report.completion_percentile_s(99.0);
         assert!(p50 <= p95 && p95 <= p99);
         assert!(p50 > 0.0);
+    }
+
+    #[test]
+    fn percentile_quantile_is_clamped() {
+        let report = ServingReport {
+            records: vec![
+                RequestRecord::served(10, 1.0, 1.0),
+                RequestRecord::served(10, 1.0, 2.0),
+                RequestRecord::served(10, 1.0, 3.0),
+            ],
+        };
+        // Out-of-range quantiles clamp to the extremes instead of indexing
+        // out of bounds or extrapolating.
+        assert_eq!(report.completion_percentile_s(-10.0), 1.0);
+        assert_eq!(report.completion_percentile_s(0.0), 1.0);
+        assert_eq!(report.completion_percentile_s(100.0), 3.0);
+        assert_eq!(report.completion_percentile_s(250.0), 3.0);
     }
 
     #[test]

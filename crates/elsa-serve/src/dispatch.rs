@@ -1,0 +1,947 @@
+//! The serving event loop: admission → batching → SLO-aware dispatch.
+//!
+//! [`OnlineServer::serve`] replays an [`ArrivalTrace`] through the full
+//! online pipeline on the virtual clock:
+//!
+//! 1. **Precompute** (the only parallel stage): every request's approximate
+//!    pipeline runs once — service seconds, numeric-guard verdict, inputs —
+//!    fanned out over worker threads in arrival order exactly like the
+//!    offline servers, so the report is bit-identical at any
+//!    `ELSA_THREADS`.
+//! 2. **Admission**: arrivals enter the bounded
+//!    [`AdmissionQueue`]; a full queue triggers the configured
+//!    [`Backpressure`] policy.
+//! 3. **Batching**: a length bucket dispatches when it holds
+//!    `max_batch` requests or its oldest waiter has queued `max_wait_ns`.
+//! 4. **Dispatch**: each batch member routes to the accelerator unit that
+//!    frees first, through the same failover loop as
+//!    `elsa_runtime::FaultTolerantServer` — transient retries, straggler
+//!    slowdowns, quarantine with probation, corruption degrading to exact
+//!    attention — plus two online-only outcomes: a request whose deadline
+//!    passed while it queued is **timed out**, and (optionally) a request
+//!    whose estimated completion would overshoot its deadline is **shed**
+//!    before it wastes accelerator time.
+//!
+//! Every arrival produces exactly one [`OnlineRecord`], so
+//! `offered = served + shed + timed-out + failed` holds by construction
+//! (and is asserted).
+
+use elsa_attention::exact::AttentionInputs;
+use elsa_core::ElsaAttention;
+use elsa_fault::{FaultPlan, HealthTracker, SATURATION_LIMIT};
+use elsa_linalg::{ops, Matrix};
+use elsa_runtime::{InferenceServer, RequestRecord, RuntimeError, ServingReport};
+use elsa_sim::{AcceleratorConfig, ElsaAccelerator, FitError, RunReport};
+
+use crate::arrival::ArrivalTrace;
+use crate::batcher::{BatchPolicy, BatcherMode, BucketStats};
+use crate::clock::{ns_to_secs, VirtualClock};
+use crate::queue::{AdmissionQueue, Backpressure, QueuedRequest};
+
+/// Full configuration of the online pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Admission-queue capacity shared across buckets (`None` = unbounded).
+    pub queue_capacity: Option<usize>,
+    /// What happens to arrivals when the queue is full.
+    pub backpressure: Backpressure,
+    /// Batch-formation policy.
+    pub batch: BatchPolicy,
+    /// How batches are charged: real lengths (ELSA) or padded (GPU
+    /// emulation).
+    pub mode: BatcherMode,
+    /// Shed a request at dispatch when its estimated completion (earliest
+    /// unit availability + its measured service time) overshoots its
+    /// deadline, instead of burning accelerator time on a guaranteed miss.
+    pub shed_unmeetable: bool,
+    /// Failed attempts per request before the dispatcher gives up.
+    pub max_retries: u32,
+    /// Consecutive faults on one unit before it is quarantined.
+    pub quarantine_after: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: None,
+            backpressure: Backpressure::Block,
+            batch: BatchPolicy::single_bucket(8, 100_000),
+            mode: BatcherMode::Bucketed,
+            shed_unmeetable: false,
+            max_retries: 16,
+            quarantine_after: 3,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// No queueing, no batching, no shedding: dispatch every request alone
+    /// the moment it arrives. On a simultaneous trace this reduces the
+    /// pipeline to the offline [`InferenceServer`] bit-for-bit.
+    #[must_use]
+    pub fn immediate() -> Self {
+        Self { batch: BatchPolicy::immediate(), ..Self::default() }
+    }
+}
+
+/// How one request left the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Completed on an accelerator (possibly degraded to exact attention).
+    Served {
+        /// The numeric guard tripped and the request fell back to the
+        /// accelerator's exact base mode.
+        degraded: bool,
+    },
+    /// Dropped by [`Backpressure`] on a full admission queue.
+    ShedQueueFull,
+    /// Dropped at dispatch: its deadline was provably unmeetable.
+    ShedUnmeetable,
+    /// Its deadline expired while it waited in the queue.
+    TimedOut,
+    /// The dispatcher gave up (retry budget exhausted or pool dead).
+    Failed,
+}
+
+/// Accounting for one request of an online trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineRecord {
+    /// Trace id (arrival-order index).
+    pub id: usize,
+    /// Real sequence length.
+    pub n_real: usize,
+    /// Length bucket the request was routed to.
+    pub bucket: usize,
+    /// Arrival instant.
+    pub arrival_ns: u64,
+    /// Absolute deadline, if the request carried an SLO.
+    pub deadline_ns: Option<u64>,
+    /// Virtual instant at which the outcome was decided (batch dispatch or
+    /// shed).
+    pub decided_ns: u64,
+    /// Arrival to accelerator start (served) or to the shed/timeout
+    /// decision (everything else), in seconds.
+    pub queue_delay_s: f64,
+    /// Accelerator busy seconds actually charged (0 when not served).
+    pub service_s: f64,
+    /// Seconds from the virtual origin to completion (served) or to the
+    /// give-up/shed instant.
+    pub completion_s: f64,
+    /// Failed attempts before the final outcome.
+    pub retries: u32,
+    /// How the request left the pipeline.
+    pub outcome: Outcome,
+}
+
+impl OnlineRecord {
+    /// Whether the request was served within its deadline. Deadline-free
+    /// served requests count as met; everything unserved as missed.
+    #[must_use]
+    pub fn slo_met(&self) -> bool {
+        matches!(self.outcome, Outcome::Served { .. })
+            && self.deadline_ns.is_none_or(|d| self.completion_s <= ns_to_secs(d))
+    }
+}
+
+/// The full outcome of one online trace.
+///
+/// Extends the offline [`ServingReport`] vocabulary with queue-delay
+/// percentiles, SLO attainment, shed/timeout accounting, and per-bucket
+/// batch occupancy. `PartialEq` compares every `f64` exactly, which is what
+/// the cross-thread determinism test relies on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Per-request records, in arrival (id) order.
+    pub records: Vec<OnlineRecord>,
+    /// Dispatch accounting per length bucket.
+    pub bucket_stats: Vec<BucketStats>,
+}
+
+impl ServeReport {
+    fn served(&self) -> impl Iterator<Item = &OnlineRecord> {
+        self.records.iter().filter(|r| matches!(r.outcome, Outcome::Served { .. }))
+    }
+
+    /// Requests offered to the pipeline.
+    #[must_use]
+    pub fn offered_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Requests served (including degraded).
+    #[must_use]
+    pub fn served_count(&self) -> usize {
+        self.served().count()
+    }
+
+    /// Served requests that degraded to exact attention.
+    #[must_use]
+    pub fn degraded_count(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::Served { degraded: true }))
+            .count()
+    }
+
+    /// Requests dropped by queue backpressure.
+    #[must_use]
+    pub fn shed_queue_full_count(&self) -> usize {
+        self.records.iter().filter(|r| r.outcome == Outcome::ShedQueueFull).count()
+    }
+
+    /// Requests shed at dispatch as unmeetable.
+    #[must_use]
+    pub fn shed_unmeetable_count(&self) -> usize {
+        self.records.iter().filter(|r| r.outcome == Outcome::ShedUnmeetable).count()
+    }
+
+    /// All load-shedding drops (queue-full + unmeetable).
+    #[must_use]
+    pub fn shed_count(&self) -> usize {
+        self.shed_queue_full_count() + self.shed_unmeetable_count()
+    }
+
+    /// Requests whose deadline expired in the queue.
+    #[must_use]
+    pub fn timed_out_count(&self) -> usize {
+        self.records.iter().filter(|r| r.outcome == Outcome::TimedOut).count()
+    }
+
+    /// Requests the dispatcher gave up on.
+    #[must_use]
+    pub fn failed_count(&self) -> usize {
+        self.records.iter().filter(|r| r.outcome == Outcome::Failed).count()
+    }
+
+    /// Total failed attempts across all requests.
+    #[must_use]
+    pub fn total_retries(&self) -> u64 {
+        self.records.iter().map(|r| u64::from(r.retries)).sum()
+    }
+
+    /// Queue-delay percentile over the served requests (`q` clamped to
+    /// `[0, 100]`); `0.0` when nothing was served.
+    #[must_use]
+    pub fn queue_delay_percentile_s(&self, q: f64) -> f64 {
+        let delays: Vec<f64> = self.served().map(|r| r.queue_delay_s).collect();
+        if delays.is_empty() {
+            0.0
+        } else {
+            ops::percentile(&delays, q.clamp(0.0, 100.0))
+        }
+    }
+
+    /// Mean queue delay over the served requests; `0.0` when nothing was
+    /// served.
+    #[must_use]
+    pub fn mean_queue_delay_s(&self) -> f64 {
+        let (sum, count) =
+            self.served().fold((0.0f64, 0usize), |(s, c), r| (s + r.queue_delay_s, c + 1));
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+
+    /// Fraction of deadline-carrying requests served within their deadline;
+    /// `1.0` when no request carried a deadline (nothing to miss).
+    #[must_use]
+    pub fn slo_attainment(&self) -> f64 {
+        let (met, total) = self
+            .records
+            .iter()
+            .filter(|r| r.deadline_ns.is_some())
+            .fold((0usize, 0usize), |(m, t), r| (m + usize::from(r.slo_met()), t + 1));
+        if total == 0 {
+            1.0
+        } else {
+            met as f64 / total as f64
+        }
+    }
+
+    /// Served requests divided by the last served completion; `0.0` when
+    /// nothing was served.
+    #[must_use]
+    pub fn throughput_per_s(&self) -> f64 {
+        let makespan = self.served().map(|r| r.completion_s).fold(0.0f64, f64::max);
+        if makespan == 0.0 {
+            0.0
+        } else {
+            self.served_count() as f64 / makespan
+        }
+    }
+
+    /// Projects the online records onto the offline [`ServingReport`]
+    /// vocabulary: served requests keep their service/completion times,
+    /// everything else becomes a failed record. On a simultaneous trace
+    /// under [`ServeConfig::immediate`], this is bit-identical to
+    /// [`InferenceServer::serve`] on the materialized requests.
+    #[must_use]
+    pub fn to_serving_report(&self) -> ServingReport {
+        let records = self
+            .records
+            .iter()
+            .map(|r| match r.outcome {
+                Outcome::Served { degraded } => RequestRecord {
+                    n_real: r.n_real,
+                    service_s: r.service_s,
+                    completion_s: r.completion_s,
+                    degraded,
+                    retries: r.retries,
+                    failed: false,
+                },
+                _ => RequestRecord {
+                    n_real: r.n_real,
+                    service_s: 0.0,
+                    completion_s: r.completion_s,
+                    degraded: false,
+                    retries: r.retries,
+                    failed: true,
+                },
+            })
+            .collect();
+        ServingReport { records }
+    }
+}
+
+/// The numeric guard (same predicate as the fault-tolerant offline server):
+/// a result is untrustworthy when a non-empty query set selected nothing or
+/// any output value is non-finite or saturated.
+fn guard_trips(report: &RunReport) -> bool {
+    (report.stats.num_queries > 0 && report.stats.selected_pairs == 0)
+        || report.output.as_slice().iter().any(|v| !(v.abs() < SATURATION_LIMIT))
+}
+
+/// One request's thread-independent precompute.
+struct Prepared {
+    inputs: AttentionInputs,
+    service_s: f64,
+    trips: bool,
+}
+
+/// The online serving front-end: one operator, one accelerator pool, one
+/// fault plan, one serving configuration.
+#[derive(Debug)]
+pub struct OnlineServer {
+    accel_config: AcceleratorConfig,
+    operator: ElsaAttention,
+    plan: FaultPlan,
+    config: ServeConfig,
+}
+
+impl OnlineServer {
+    /// Builds the server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operator does not fit the hardware or the batch policy
+    /// is malformed; see [`OnlineServer::try_new`] for the non-panicking
+    /// form.
+    #[must_use]
+    pub fn new(
+        accel_config: AcceleratorConfig,
+        operator: ElsaAttention,
+        plan: FaultPlan,
+        config: ServeConfig,
+    ) -> Self {
+        match Self::try_new(accel_config, operator, plan, config) {
+            Ok(server) => server,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds the server, reporting an operator/hardware misfit as a typed
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Misfit`] when the hardware configuration is
+    /// invalid or the operator's dimensions do not match it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch policy is malformed (zero batch size,
+    /// non-ascending bucket bounds) — that is a construction bug, not an
+    /// input.
+    pub fn try_new(
+        accel_config: AcceleratorConfig,
+        operator: ElsaAttention,
+        plan: FaultPlan,
+        config: ServeConfig,
+    ) -> Result<Self, RuntimeError> {
+        config.batch.validate();
+        let _ = InferenceServer::try_new(accel_config, operator.clone())?;
+        Ok(Self { accel_config, operator, plan, config })
+    }
+
+    /// The serving configuration.
+    #[must_use]
+    pub const fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The governing fault plan.
+    #[must_use]
+    pub const fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Replays an arrival trace through the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Request`] when a request does not fit the
+    /// hardware (the trace is rejected before any virtual time passes), or
+    /// [`RuntimeError::NoHealthyUnits`] when the fault plan killed every
+    /// unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is not sorted by arrival or its ids are not the
+    /// arrival-order indices (both are guaranteed by every
+    /// [`ArrivalTrace`] constructor).
+    pub fn serve(&self, trace: &ArrivalTrace) -> Result<ServeReport, RuntimeError> {
+        assert!(
+            trace.requests.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns),
+            "arrival trace must be sorted by arrival time"
+        );
+        assert!(
+            trace.requests.iter().enumerate().all(|(i, r)| r.id == i),
+            "arrival trace ids must be arrival-order indices"
+        );
+        let accel = ElsaAccelerator::try_new(self.accel_config, self.operator.clone())?;
+        let units = self.accel_config.num_accelerators;
+        let mut health = HealthTracker::new(units, self.config.quarantine_after);
+        for unit in 0..units {
+            if self.plan.unit_dead(unit) {
+                health.mark_dead(unit);
+            }
+        }
+        if health.num_available() == 0 {
+            return Err(RuntimeError::NoHealthyUnits);
+        }
+
+        // Thread-independent precompute, fanned out in arrival order: the
+        // serial event loop below never touches the simulator except for
+        // padded-timing and degraded-fallback runs, which are themselves
+        // deterministic functions of the precomputed state.
+        let run_one = |i: usize| -> Result<Prepared, FitError> {
+            let inputs = trace.requests[i].entry.materialize();
+            let run = accel.try_run(&inputs)?;
+            Ok(Prepared {
+                service_s: run.cycles.seconds(&self.accel_config),
+                trips: guard_trips(&run),
+                inputs,
+            })
+        };
+        let work: usize = trace
+            .requests
+            .iter()
+            .map(|r| {
+                let n = r.entry.pattern.n_real;
+                n.saturating_mul(n).saturating_mul(r.entry.pattern.d)
+            })
+            .sum();
+        let runs: Vec<Result<Prepared, FitError>> =
+            if elsa_parallel::beneficial(work) && trace.len() > 1 {
+                elsa_parallel::par_map_indexed(trace.len(), run_one)
+            } else {
+                (0..trace.len()).map(run_one).collect()
+            };
+        let mut prepared = Vec::with_capacity(runs.len());
+        for (index, run) in runs.into_iter().enumerate() {
+            prepared.push(run.map_err(|source| RuntimeError::Request { index, source })?);
+        }
+
+        let mut engine = Engine {
+            accel: &accel,
+            accel_config: &self.accel_config,
+            plan: &self.plan,
+            cfg: &self.config,
+            prepared: &prepared,
+            clock: VirtualClock::new(),
+            queue: AdmissionQueue::new(self.config.batch.num_buckets(), self.config.queue_capacity),
+            free_at: vec![0.0f64; units],
+            health,
+            slots: (0..trace.len()).map(|_| None).collect(),
+            stats: self
+                .config
+                .batch
+                .length_buckets
+                .iter()
+                .map(|&bound| BucketStats { bound, ..BucketStats::default() })
+                .collect(),
+        };
+        for request in &trace.requests {
+            engine.flush_expired(request.arrival_ns);
+            engine.clock.advance_to(request.arrival_ns);
+            let n_real = prepared[request.id].inputs.num_keys();
+            engine.admit(QueuedRequest {
+                id: request.id,
+                arrival_ns: request.arrival_ns,
+                deadline_ns: request.deadline_ns,
+                n_real,
+                bucket: self.config.batch.bucket_of(n_real),
+            });
+        }
+        engine.flush_expired(u64::MAX);
+
+        let records: Vec<OnlineRecord> = engine
+            .slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| slot.unwrap_or_else(|| panic!("request {i} left unaccounted")))
+            .collect();
+        Ok(ServeReport { records, bucket_stats: engine.stats })
+    }
+}
+
+/// Mutable state of one serving run.
+struct Engine<'a> {
+    accel: &'a ElsaAccelerator,
+    accel_config: &'a AcceleratorConfig,
+    plan: &'a FaultPlan,
+    cfg: &'a ServeConfig,
+    prepared: &'a [Prepared],
+    clock: VirtualClock,
+    queue: AdmissionQueue,
+    free_at: Vec<f64>,
+    health: HealthTracker,
+    slots: Vec<Option<OnlineRecord>>,
+    stats: Vec<BucketStats>,
+}
+
+impl Engine<'_> {
+    /// Dispatches every bucket whose batching window expires at or before
+    /// `horizon_ns`, in expiry order, advancing the clock to each expiry.
+    fn flush_expired(&mut self, horizon_ns: u64) {
+        while let Some((expiry, bucket)) =
+            self.queue.earliest_expiry(self.cfg.batch.max_wait_ns)
+        {
+            if expiry > horizon_ns {
+                break;
+            }
+            self.clock.advance_to(expiry.max(self.clock.now_ns()));
+            self.dispatch_bucket(bucket);
+        }
+    }
+
+    /// Admits one arrival at the current instant, applying backpressure if
+    /// the queue is full and dispatching its bucket if that fills it.
+    fn admit(&mut self, request: QueuedRequest) {
+        if self.queue.is_full() {
+            match self.cfg.backpressure {
+                Backpressure::ShedNewest => {
+                    let now_s = self.clock.now_s();
+                    self.finish(request, 0.0, 0.0, now_s, 0, Outcome::ShedQueueFull);
+                    return;
+                }
+                Backpressure::ShedOldest => {
+                    let victim = self.queue.pop_oldest().expect("full queue is nonempty");
+                    let now_s = self.clock.now_s();
+                    let delay = now_s - ns_to_secs(victim.arrival_ns);
+                    self.finish(victim, delay, 0.0, now_s, 0, Outcome::ShedQueueFull);
+                }
+                Backpressure::Block => {
+                    let bucket = self.queue.oldest_bucket().expect("full queue is nonempty");
+                    self.dispatch_bucket(bucket);
+                }
+            }
+        }
+        self.queue.push(request);
+        if self.queue.bucket_len(request.bucket) >= self.cfg.batch.max_batch {
+            self.dispatch_bucket(request.bucket);
+        }
+    }
+
+    /// Forms a batch from one bucket at the current instant and dispatches
+    /// its members in FIFO order.
+    fn dispatch_bucket(&mut self, bucket: usize) {
+        let batch = self.queue.drain_bucket(bucket, self.cfg.batch.max_batch);
+        if batch.is_empty() {
+            return;
+        }
+        self.stats[bucket].batches += 1;
+        self.stats[bucket].requests += batch.len() as u64;
+        // Padding is a formation-time decision: the batch maximum is fixed
+        // over everything drained, before deadline checks, exactly as a
+        // pad-to-max kernel launch would be shaped.
+        let padded_n = match self.cfg.mode {
+            BatcherMode::Bucketed => 0,
+            BatcherMode::Padded => batch.iter().map(|r| r.n_real).max().unwrap_or(0),
+        };
+        for request in batch {
+            self.stats[bucket].real_rows += request.n_real as u64;
+            let charged = match self.cfg.mode {
+                BatcherMode::Bucketed => self.prepared[request.id].service_s,
+                BatcherMode::Padded => {
+                    self.stats[bucket].padded_rows += (padded_n - request.n_real) as u64;
+                    self.padded_service_s(request.id, padded_n)
+                }
+            };
+            self.dispatch_one(request, charged);
+        }
+    }
+
+    /// The service seconds of one request padded (with zero rows) to
+    /// `padded_n` entities — the GPU-emulation cost. Falls back to the
+    /// precomputed time when no padding is needed.
+    fn padded_service_s(&self, id: usize, padded_n: usize) -> f64 {
+        let p = &self.prepared[id];
+        if padded_n <= p.inputs.num_keys() {
+            return p.service_s;
+        }
+        let pad = |m: &Matrix| m.vstack(&Matrix::zeros(padded_n - m.rows(), m.cols()));
+        let padded = AttentionInputs::new(
+            pad(p.inputs.query()),
+            pad(p.inputs.key()),
+            pad(p.inputs.value()),
+        );
+        self.accel.run(&padded).cycles.seconds(self.accel_config)
+    }
+
+    /// Routes one request through deadline checks and the failover loop.
+    fn dispatch_one(&mut self, request: QueuedRequest, charged_service: f64) {
+        let now_ns = self.clock.now_ns();
+        let now_s = self.clock.now_s();
+        let waited_s = now_s - ns_to_secs(request.arrival_ns);
+        if let Some(deadline) = request.deadline_ns {
+            if deadline < now_ns {
+                self.finish(request, waited_s, 0.0, now_s, 0, Outcome::TimedOut);
+                return;
+            }
+            if self.cfg.shed_unmeetable {
+                let earliest = self
+                    .health
+                    .available_units()
+                    .into_iter()
+                    .map(|u| self.free_at[u])
+                    .min_by(|a, b| a.partial_cmp(b).expect("finite times"));
+                if let Some(earliest) = earliest {
+                    if earliest.max(now_s) + charged_service > ns_to_secs(deadline) {
+                        self.finish(request, waited_s, 0.0, now_s, 0, Outcome::ShedUnmeetable);
+                        return;
+                    }
+                }
+            }
+        }
+        let mut retries = 0u32;
+        let mut attempt = 0u32;
+        loop {
+            // FIFO over survivors: the available unit that frees first
+            // (first minimum, matching the offline servers).
+            let Some(unit) = self.health.available_units().into_iter().min_by(|&a, &b| {
+                self.free_at[a].partial_cmp(&self.free_at[b]).expect("finite times")
+            }) else {
+                // Quarantine is probation, not death: reinstate and retry
+                // (circuit-breaker half-open), unless the pool is truly
+                // dead.
+                for u in 0..self.free_at.len() {
+                    self.health.reinstate(u);
+                }
+                if self.health.num_available() == 0 {
+                    let gave_up = self.free_at.iter().copied().fold(now_s, f64::max);
+                    self.finish(request, waited_s, 0.0, gave_up, retries, Outcome::Failed);
+                    return;
+                }
+                continue;
+            };
+            let start = self.free_at[unit].max(now_s);
+            let slowdown = self.plan.straggler_factor(unit, request.id);
+            if self.plan.transient_fault(unit, request.id, attempt) {
+                // The failed attempt still occupied the unit.
+                self.free_at[unit] = start + charged_service * slowdown;
+                self.health.record_fault(unit);
+                retries += 1;
+                attempt += 1;
+                if retries > self.cfg.max_retries {
+                    let gave_up = self.free_at[unit];
+                    self.finish(request, waited_s, 0.0, gave_up, retries, Outcome::Failed);
+                    return;
+                }
+                continue;
+            }
+            self.health.record_success(unit);
+            let (service_s, degraded) = if self.prepared[request.id].trips
+                || self.plan.corruption(unit, request.id).is_some()
+            {
+                let base = self.accel.run_base(&self.prepared[request.id].inputs);
+                ((charged_service + base.cycles.seconds(self.accel_config)) * slowdown, true)
+            } else {
+                (charged_service * slowdown, false)
+            };
+            self.free_at[unit] = start + service_s;
+            let completion_s = self.free_at[unit];
+            let queue_delay_s = start - ns_to_secs(request.arrival_ns);
+            self.finish(
+                request,
+                queue_delay_s,
+                service_s,
+                completion_s,
+                retries,
+                Outcome::Served { degraded },
+            );
+            return;
+        }
+    }
+
+    /// Writes the single record a request is allowed.
+    fn finish(
+        &mut self,
+        request: QueuedRequest,
+        queue_delay_s: f64,
+        service_s: f64,
+        completion_s: f64,
+        retries: u32,
+        outcome: Outcome,
+    ) {
+        let slot = &mut self.slots[request.id];
+        assert!(slot.is_none(), "request {} accounted twice", request.id);
+        *slot = Some(OnlineRecord {
+            id: request.id,
+            n_real: request.n_real,
+            bucket: request.bucket,
+            arrival_ns: request.arrival_ns,
+            deadline_ns: request.deadline_ns,
+            decided_ns: self.clock.now_ns(),
+            queue_delay_s,
+            service_s,
+            completion_s,
+            retries,
+            outcome,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::{ArrivalConfig, ArrivalTrace};
+    use elsa_core::attention::ElsaParams;
+    use elsa_linalg::SeededRng;
+    use elsa_workloads::{DatasetKind, ModelKind, Workload};
+
+    fn workload() -> Workload {
+        Workload { model: ModelKind::SasRec, dataset: DatasetKind::MovieLens1M }
+    }
+
+    fn operator(seed: u64) -> ElsaAttention {
+        let mut rng = SeededRng::new(seed);
+        let train = workload().generate_batch(1, &mut rng);
+        ElsaAttention::learn(
+            ElsaParams::for_dims(64, 64, &mut SeededRng::new(seed + 1)),
+            &train,
+            1.0,
+        )
+    }
+
+    fn config() -> AcceleratorConfig {
+        AcceleratorConfig { n_max: 200, num_accelerators: 4, ..AcceleratorConfig::paper() }
+    }
+
+    fn trace(count: usize, lambda: f64, slo_ns: Option<u64>, seed: u64) -> ArrivalTrace {
+        let cfg = ArrivalConfig { lambda_per_s: lambda, count, slo_ns, burst: None };
+        ArrivalTrace::generate(&workload(), &cfg, &mut SeededRng::new(seed))
+    }
+
+    #[test]
+    fn every_request_is_accounted_exactly_once() {
+        let server = OnlineServer::new(
+            config(),
+            operator(1),
+            FaultPlan::none(),
+            ServeConfig {
+                queue_capacity: Some(4),
+                backpressure: Backpressure::ShedNewest,
+                shed_unmeetable: true,
+                ..ServeConfig::default()
+            },
+        );
+        let trace = trace(64, 200_000.0, Some(100_000), 2);
+        let report = server.serve(&trace).expect("healthy pool");
+        assert_eq!(report.offered_count(), 64);
+        assert_eq!(
+            report.served_count()
+                + report.shed_count()
+                + report.timed_out_count()
+                + report.failed_count(),
+            64,
+            "exact accounting"
+        );
+        // Records come back in arrival order.
+        for (i, r) in report.records.iter().enumerate() {
+            assert_eq!(r.id, i);
+        }
+    }
+
+    #[test]
+    fn light_load_serves_everything_within_slo() {
+        let server =
+            OnlineServer::new(config(), operator(3), FaultPlan::none(), ServeConfig::immediate());
+        // λ far below saturation, generous SLO.
+        let trace = trace(24, 1_000.0, Some(crate::clock::NANOS_PER_SEC), 4);
+        let report = server.serve(&trace).expect("healthy pool");
+        assert_eq!(report.served_count(), 24);
+        assert_eq!(report.slo_attainment(), 1.0);
+        assert!(report.queue_delay_percentile_s(99.0) < 1e-3);
+        assert!(report.throughput_per_s() > 0.0);
+    }
+
+    #[test]
+    fn shed_oldest_prefers_the_head_of_the_queue() {
+        // One unit, capacity 2, huge batch window: the queue fills and the
+        // oldest waiters get dropped.
+        let server = OnlineServer::new(
+            AcceleratorConfig { num_accelerators: 1, ..config() },
+            operator(5),
+            FaultPlan::none(),
+            ServeConfig {
+                queue_capacity: Some(2),
+                backpressure: Backpressure::ShedOldest,
+                batch: BatchPolicy::single_bucket(64, u64::MAX / 2),
+                ..ServeConfig::default()
+            },
+        );
+        let trace = trace(12, 1_000_000.0, None, 6);
+        let report = server.serve(&trace).expect("healthy pool");
+        assert_eq!(report.shed_queue_full_count(), 10, "capacity 2 of 12 survive");
+        let shed: Vec<usize> = report
+            .records
+            .iter()
+            .filter(|r| r.outcome == Outcome::ShedQueueFull)
+            .map(|r| r.id)
+            .collect();
+        assert_eq!(shed, (0..10).collect::<Vec<_>>(), "head drop sheds the oldest");
+    }
+
+    #[test]
+    fn block_backpressure_never_sheds() {
+        let server = OnlineServer::new(
+            config(),
+            operator(7),
+            FaultPlan::none(),
+            ServeConfig {
+                queue_capacity: Some(2),
+                backpressure: Backpressure::Block,
+                batch: BatchPolicy::single_bucket(8, 1_000_000),
+                ..ServeConfig::default()
+            },
+        );
+        let trace = trace(32, 500_000.0, None, 8);
+        let report = server.serve(&trace).expect("healthy pool");
+        assert_eq!(report.served_count(), 32);
+        assert_eq!(report.shed_count(), 0);
+    }
+
+    #[test]
+    fn unmeetable_deadlines_are_shed_not_burned() {
+        // Impossible SLO: shorter than any service time. With shedding on,
+        // every request is dropped before occupying a unit.
+        let server = OnlineServer::new(
+            config(),
+            operator(9),
+            FaultPlan::none(),
+            ServeConfig { shed_unmeetable: true, ..ServeConfig::immediate() },
+        );
+        let trace = trace(8, 1_000.0, Some(10), 10);
+        let report = server.serve(&trace).expect("healthy pool");
+        assert_eq!(report.shed_unmeetable_count(), 8);
+        assert_eq!(report.slo_attainment(), 0.0);
+        assert_eq!(report.throughput_per_s(), 0.0);
+    }
+
+    #[test]
+    fn batching_waits_are_bounded_by_the_window() {
+        let max_wait_ns = 2_000_000; // 2 ms
+        let server = OnlineServer::new(
+            config(),
+            operator(11),
+            FaultPlan::none(),
+            ServeConfig {
+                batch: BatchPolicy::single_bucket(64, max_wait_ns),
+                ..ServeConfig::default()
+            },
+        );
+        // λ low enough that batches form by expiry, not by max_batch.
+        let trace = trace(16, 5_000.0, None, 12);
+        let report = server.serve(&trace).expect("healthy pool");
+        assert_eq!(report.served_count(), 16);
+        for r in &report.records {
+            assert!(
+                r.decided_ns <= r.arrival_ns + max_wait_ns,
+                "request {} dispatched {}ns after arrival",
+                r.id,
+                r.decided_ns - r.arrival_ns
+            );
+        }
+        let stats = &report.bucket_stats[0];
+        assert!(stats.batches < 16, "batching actually grouped requests");
+        assert!(stats.mean_fill() > 1.0);
+    }
+
+    #[test]
+    fn dead_pool_is_a_typed_error() {
+        let plan = FaultPlan::seeded(
+            13,
+            elsa_fault::FaultRates { unit_death: 1.0, ..elsa_fault::FaultRates::none() },
+        );
+        let server = OnlineServer::new(config(), operator(14), plan, ServeConfig::default());
+        assert_eq!(
+            server.serve(&trace(4, 1_000.0, None, 15)).unwrap_err(),
+            RuntimeError::NoHealthyUnits
+        );
+    }
+
+    #[test]
+    fn oversized_request_is_rejected_up_front() {
+        // n_max = 200 but BertLarge pads to 384 real entities sometimes; use
+        // a tiny n_max to force the misfit deterministically.
+        let server = OnlineServer::new(
+            AcceleratorConfig { n_max: 8, ..config() },
+            operator(16),
+            FaultPlan::none(),
+            ServeConfig::default(),
+        );
+        let err = server.serve(&trace(6, 1_000.0, None, 17)).unwrap_err();
+        assert!(matches!(err, RuntimeError::Request { .. }));
+    }
+
+    #[test]
+    fn padded_mode_charges_at_least_the_real_cost() {
+        let trace = trace(24, 1_000_000.0, None, 18);
+        let serve = |mode| {
+            let server = OnlineServer::new(
+                config(),
+                operator(19),
+                FaultPlan::none(),
+                ServeConfig {
+                    batch: BatchPolicy::single_bucket(8, 1_000_000),
+                    mode,
+                    ..ServeConfig::default()
+                },
+            );
+            server.serve(&trace).expect("healthy pool")
+        };
+        let bucketed = serve(BatcherMode::Bucketed);
+        let padded = serve(BatcherMode::Padded);
+        assert_eq!(bucketed.served_count(), padded.served_count());
+        for (b, p) in bucketed.records.iter().zip(&padded.records) {
+            assert!(p.service_s >= b.service_s, "padding can only add work");
+        }
+        assert!(padded.bucket_stats[0].padded_rows > 0, "mixed lengths actually padded");
+        assert_eq!(bucketed.bucket_stats[0].padded_rows, 0, "ELSA pays no padding");
+        assert_eq!(bucketed.bucket_stats[0].padding_waste(), 0.0);
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_report() {
+        let server =
+            OnlineServer::new(config(), operator(20), FaultPlan::none(), ServeConfig::default());
+        let report = server.serve(&ArrivalTrace { requests: Vec::new() }).expect("empty is fine");
+        assert_eq!(report.offered_count(), 0);
+        assert_eq!(report.slo_attainment(), 1.0);
+        assert_eq!(report.queue_delay_percentile_s(99.0), 0.0);
+        assert_eq!(report.throughput_per_s(), 0.0);
+    }
+}

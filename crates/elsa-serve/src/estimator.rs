@@ -1,0 +1,130 @@
+//! Closed-form service-time estimation for admission control.
+//!
+//! The dispatcher's *exact* cost for a request is the cycle-accurate
+//! simulation in `crates/elsa-sim` — but an admission controller sometimes
+//! needs a cost **before** the simulation runs (capacity planning, the
+//! λ-sweep in `bench_serve`, sanity bounds in tests). [`ServiceEstimator`]
+//! closes that gap with the paper's closed-form per-query bound
+//! (`elsa_sim::cycle::closed_form_query_cycles`): assume a uniform candidate
+//! fraction `ρ`, charge `n` pipelined queries at the bound plus
+//! preprocessing and drain, and convert cycles to seconds at the configured
+//! clock.
+//!
+//! The estimate is monotone in `n` and deliberately simple; the SLO
+//! shedding decision in the event loop uses the *measured* per-request
+//! service time instead, so the estimator can stay a planning tool.
+
+use elsa_sim::cycle::closed_form_query_cycles;
+use elsa_sim::AcceleratorConfig;
+
+/// Analytic per-request service-time model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceEstimator {
+    config: AcceleratorConfig,
+    candidate_fraction: f64,
+}
+
+impl ServiceEstimator {
+    /// Builds an estimator assuming each query selects `candidate_fraction`
+    /// of the keys (clamped to `[0, 1]`).
+    #[must_use]
+    pub fn new(config: AcceleratorConfig, candidate_fraction: f64) -> Self {
+        Self { config, candidate_fraction: candidate_fraction.clamp(0.0, 1.0) }
+    }
+
+    /// The hardware configuration being modeled.
+    #[must_use]
+    pub const fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Assumed candidates per bank for an `n`-key request: `ρ·n` selected
+    /// keys spread evenly over the `P_a` banks, rounded up.
+    #[must_use]
+    pub fn candidates_per_bank(&self, n: usize) -> usize {
+        let selected = (self.candidate_fraction * n as f64).ceil() as usize;
+        selected.div_ceil(self.config.p_a)
+    }
+
+    /// Estimated total cycles for an `n`-entity invocation (`n` queries
+    /// over `n` keys): preprocessing + `n` pipelined queries at the
+    /// closed-form initiation interval + the final division drain.
+    #[must_use]
+    pub fn invocation_cycles(&self, n: usize) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        let per_bank = vec![self.candidates_per_bank(n); self.config.p_a];
+        let ii = closed_form_query_cycles(&self.config, n, &per_bank);
+        self.config.preprocessing_cycles(n) + n as u64 * ii + self.config.division_cycles()
+    }
+
+    /// Estimated service seconds for an `n`-entity invocation.
+    #[must_use]
+    pub fn service_s(&self, n: usize) -> f64 {
+        self.invocation_cycles(n) as f64 * self.config.cycle_time_s()
+    }
+
+    /// The offered load (requests/s of `n`-entity invocations) the whole
+    /// pool can sustain: above this λ the queue grows without bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `n = 0` (a zero-cost request has no saturation point).
+    #[must_use]
+    pub fn sustainable_lambda_per_s(&self, n: usize) -> f64 {
+        let service = self.service_s(n);
+        assert!(service > 0.0, "zero-cost request has no saturation point");
+        self.config.num_accelerators as f64 / service
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> AcceleratorConfig {
+        AcceleratorConfig::paper()
+    }
+
+    #[test]
+    fn estimate_is_monotone_in_length() {
+        let est = ServiceEstimator::new(paper(), 0.25);
+        let mut prev = 0.0;
+        for n in [1usize, 8, 32, 64, 128, 256, 512] {
+            let s = est.service_s(n);
+            assert!(s > prev, "service({n}) = {s} not increasing");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn denser_candidates_cost_no_less() {
+        let sparse = ServiceEstimator::new(paper(), 0.05);
+        let dense = ServiceEstimator::new(paper(), 0.9);
+        for n in [64usize, 256, 512] {
+            assert!(dense.service_s(n) >= sparse.service_s(n));
+        }
+    }
+
+    #[test]
+    fn sustainable_lambda_scales_with_pool_size() {
+        let one = ServiceEstimator::new(
+            AcceleratorConfig { num_accelerators: 1, ..paper() },
+            0.25,
+        );
+        let twelve = ServiceEstimator::new(paper(), 0.25);
+        let ratio = twelve.sustainable_lambda_per_s(256) / one.sustainable_lambda_per_s(256);
+        assert!((ratio - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fraction_is_clamped() {
+        let est = ServiceEstimator::new(paper(), 7.0);
+        // ρ clamps to 1: every key a candidate, n/P_a per bank.
+        assert_eq!(est.candidates_per_bank(512), 128);
+        let none = ServiceEstimator::new(paper(), -3.0);
+        assert_eq!(none.candidates_per_bank(512), 0);
+        assert_eq!(none.invocation_cycles(0), 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Online serving for the ELSA accelerator pool.
+//!
+//! The offline servers in `elsa-runtime` answer "how fast does a batch that
+//! is already here finish?". Production serving asks harder questions: how
+//! long do requests *queue* at a given offered load, when should a batcher
+//! stop waiting, and what do you drop when demand outruns the pool? This
+//! crate answers them with a fully deterministic online pipeline:
+//!
+//! * [`clock`] — a virtual clock in integer nanoseconds; no wall-clock
+//!   reads anywhere, so every run replays bit-for-bit on any host at any
+//!   `ELSA_THREADS`.
+//! * [`arrival`] — seeded open-loop Poisson arrival traces over the
+//!   evaluation workloads, with optional burst phases. Shapes and timings
+//!   are independent PRNG streams, so one seed sweeps cleanly across λ.
+//! * [`queue`] — a bounded, length-bucketed admission queue with three
+//!   backpressure policies (block, tail drop, head drop).
+//! * [`batcher`] — length-bucketed dynamic batching. ELSA pays real
+//!   lengths ([`BatcherMode::Bucketed`]); the [`BatcherMode::Padded`]
+//!   emulation charges GPU-style pad-to-batch-max cost, so the padding
+//!   waste the paper's architecture avoids is a measured number.
+//! * [`estimator`] — closed-form service-time estimates (the paper's
+//!   per-query cycle bound) for capacity planning and λ sweeps.
+//! * [`dispatch`] — the serial event loop: SLO-aware dispatch onto the
+//!   accelerator pool through the same failover semantics as
+//!   `elsa_runtime::FaultTolerantServer`, emitting one [`OnlineRecord`]
+//!   per arrival and a [`ServeReport`] with queue-delay percentiles, SLO
+//!   attainment, shed/timeout accounting, and per-bucket occupancy.
+//!
+//! Degenerate configurations collapse onto the offline baselines: an
+//! unbounded queue, batch size 1, and a simultaneous trace reproduce
+//! [`elsa_runtime::InferenceServer::serve`] bit-for-bit (enforced by
+//! `tests/online_serving.rs`).
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod arrival;
+pub mod batcher;
+pub mod clock;
+pub mod dispatch;
+pub mod estimator;
+pub mod queue;
+
+pub use arrival::{ArrivalConfig, ArrivalRequest, ArrivalTrace, Burst};
+pub use batcher::{BatchPolicy, BatcherMode, BucketStats};
+pub use clock::VirtualClock;
+pub use dispatch::{OnlineRecord, OnlineServer, Outcome, ServeConfig, ServeReport};
+pub use estimator::ServiceEstimator;
+pub use queue::{AdmissionQueue, Backpressure, QueuedRequest};

@@ -617,6 +617,10 @@ impl_gen_for_tuple!(A: 0);
 impl_gen_for_tuple!(A: 0, B: 1);
 impl_gen_for_tuple!(A: 0, B: 1, C: 2);
 impl_gen_for_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_gen_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_gen_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_gen_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+impl_gen_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
 
 // ---------------------------------------------------------------------------
 // Macros

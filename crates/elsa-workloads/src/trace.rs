@@ -81,18 +81,7 @@ impl WorkloadTrace {
     /// and assigns each entry an independent seed.
     #[must_use]
     pub fn record(workload: &Workload, count: usize, rng: &mut SeededRng) -> Self {
-        let entries = (0..count)
-            .map(|i| {
-                let n_real = workload
-                    .dataset
-                    .sample_real_length(rng)
-                    .min(workload.padded_length());
-                TraceEntry {
-                    pattern: workload.pattern_config(n_real),
-                    seed: rng.fork(i as u64).uniform().to_bits(),
-                }
-            })
-            .collect();
+        let entries = (0..count).map(|i| workload.sample_entry(rng, i as u64)).collect();
         Self { d: 64, entries }
     }
 
@@ -248,5 +237,87 @@ mod tests {
     fn error_display_nonempty() {
         let err = WorkloadTrace::from_text("").unwrap_err();
         assert!(!err.to_string().is_empty());
+    }
+
+    mod round_trip_props {
+        use super::*;
+        use elsa_testkit::prelude::*;
+
+        props! {
+            config: Config::with_cases(48);
+
+            // `to_text` → `from_text` is the identity for any recorded
+            // trace, across every workload of the evaluation.
+            fn recorded_trace_round_trips(
+                seed in ints_u64(0, 1 << 32),
+                count in ints(1, 6),
+                widx in ints(0, 12),
+            ) {
+                let workload = Workload::all()[widx];
+                let mut rng = SeededRng::new(seed);
+                let trace = WorkloadTrace::record(&workload, count, &mut rng);
+                let text = trace.to_text();
+                let back = match WorkloadTrace::from_text(&text) {
+                    Ok(back) => back,
+                    Err(e) => return Err(CaseError::Fail(format!("parse failed: {e}"))),
+                };
+                prop_assert_eq!(&trace, &back);
+                prop_assert_eq!(trace.materialize(), back.materialize());
+            }
+
+            // Arbitrary pattern fields survive the text format too: `{}`
+            // float formatting is shortest-round-trip, so no precision is
+            // lost even for awkward values.
+            fn arbitrary_entries_round_trip(
+                n in ints(1, 600),
+                relevant_frac in range(0.0, 1.0),
+                dominance in range_f32(-8.0, 8.0),
+                noise in range_f32(0.0, 4.0),
+                score_scale in range_f32(-20.0, 20.0),
+                seed in ints_u64(0, u64::MAX),
+            ) {
+                let pattern = AttentionPatternConfig {
+                    n_real: n,
+                    d: 64,
+                    num_relevant: 1 + (relevant_frac * (n - 1) as f64) as usize,
+                    dominance,
+                    noise,
+                    score_scale,
+                };
+                let trace = WorkloadTrace { d: 64, entries: vec![TraceEntry { pattern, seed }] };
+                let back = match WorkloadTrace::from_text(&trace.to_text()) {
+                    Ok(back) => back,
+                    Err(e) => return Err(CaseError::Fail(format!("parse failed: {e}"))),
+                };
+                prop_assert_eq!(&trace, &back);
+            }
+
+            // Truncating the serialized text inside the last entry (before
+            // its trailing `seed=` field) always surfaces a
+            // `ParseTraceError` naming that line — never a silently shorter
+            // trace.
+            fn truncated_text_is_a_parse_error(
+                seed in ints_u64(0, 1 << 32),
+                count in ints(1, 5),
+            ) {
+                let workload = Workload::all()[0];
+                let mut rng = SeededRng::new(seed);
+                let trace = WorkloadTrace::record(&workload, count, &mut rng);
+                let text = trace.to_text();
+                let cut = text.rfind(" seed=").expect("entries always carry a seed field");
+                let err = match WorkloadTrace::from_text(&text[..cut]) {
+                    Err(err) => err,
+                    Ok(_) => {
+                        return Err(CaseError::Fail("truncated trace parsed cleanly".into()))
+                    }
+                };
+                prop_assert_eq!(err.line, count, "error points at the truncated entry");
+                prop_assert!(
+                    err.message.contains("missing seed"),
+                    "unexpected message: {}",
+                    err.message
+                );
+            }
+        }
     }
 }

@@ -9,6 +9,7 @@ use crate::datasets::DatasetKind;
 use crate::models::ModelKind;
 use crate::synthetic::AttentionPatternConfig;
 use crate::tasks::{self, ClassificationProbe};
+use crate::trace::TraceEntry;
 
 /// One model–dataset pairing from the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -55,6 +56,24 @@ impl Workload {
     pub fn pattern_config(&self, n_real: usize) -> AttentionPatternConfig {
         let (num_relevant, dominance) = self.model.attention_profile();
         AttentionPatternConfig::new(n_real, 64, num_relevant.min(n_real), dominance)
+    }
+
+    /// Samples one replayable [`TraceEntry`]: a real length drawn from the
+    /// dataset's distribution (capped at the padded length) plus an
+    /// independent per-entry generator seed derived from `label`.
+    ///
+    /// This is the single sampling point shared by
+    /// [`WorkloadTrace::record`](crate::trace::WorkloadTrace::record) and by
+    /// online arrival generators (`elsa-serve`), so a recorded offline trace
+    /// and a live request stream draw request shapes from exactly the same
+    /// distribution.
+    #[must_use]
+    pub fn sample_entry(&self, rng: &mut SeededRng, label: u64) -> TraceEntry {
+        let n_real = self.dataset.sample_real_length(rng).min(self.padded_length());
+        TraceEntry {
+            pattern: self.pattern_config(n_real),
+            seed: rng.fork(label).uniform().to_bits(),
+        }
     }
 
     /// Samples a real length and generates one attention invocation.

@@ -31,6 +31,13 @@ echo "==> chaos battery (fixed seed, ELSA_THREADS=1 and 4)"
 ELSA_TESTKIT_SEED=0xE15AFA17 ELSA_THREADS=1 cargo test -q --offline --test fault_tolerance
 ELSA_TESTKIT_SEED=0xE15AFA17 ELSA_THREADS=4 cargo test -q --offline --test fault_tolerance
 
+echo "==> online serving battery (fixed seed, ELSA_THREADS=1 and 4)"
+# The serving acceptance tests promise bit-identical ServeReports at any
+# worker count, offline equivalence of the degenerate pipeline, exact
+# overload accounting, and the bucketed-vs-padded throughput ordering.
+ELSA_TESTKIT_SEED=0xE15AFA17 ELSA_THREADS=1 cargo test -q --offline --test online_serving
+ELSA_TESTKIT_SEED=0xE15AFA17 ELSA_THREADS=4 cargo test -q --offline --test online_serving
+
 echo "==> bench smoke runs (each benchmark body once)"
 cargo test -q --offline --workspace --benches
 
@@ -74,6 +81,8 @@ assert "crates/elsa-parallel/Cargo.toml" in manifests, \
     "dep guard no longer sees crates/elsa-parallel/Cargo.toml"
 assert "crates/elsa-fault/Cargo.toml" in manifests, \
     "dep guard no longer sees crates/elsa-fault/Cargo.toml"
+assert "crates/elsa-serve/Cargo.toml" in manifests, \
+    "dep guard no longer sees crates/elsa-serve/Cargo.toml"
 
 for manifest in manifests:
     with open(manifest, "rb") as f:

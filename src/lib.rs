@@ -21,6 +21,7 @@
 //! | [`sparse`] | software sparse-attention baselines (LSH, local windows) |
 //! | [`fault`] | deterministic fault injection: seeded chaos plans, health tracking |
 //! | [`runtime`] | host integration: thresholds, batch scheduling, failover serving |
+//! | [`serve`] | online serving: virtual-clock queueing, dynamic batching, SLO shedding |
 //! | [`workloads`] | model zoo, synthetic datasets, proxy metrics |
 //!
 //! # Quickstart
@@ -63,6 +64,8 @@ pub use elsa_numeric as numeric;
 pub use elsa_sparse as sparse;
 /// Host-integration runtime (re-export of `elsa-runtime`).
 pub use elsa_runtime as runtime;
+/// Online serving subsystem (re-export of `elsa-serve`).
+pub use elsa_serve as serve;
 /// Hardware simulator (re-export of `elsa-sim`).
 pub use elsa_sim as sim;
 /// Evaluation workloads (re-export of `elsa-workloads`).

@@ -1,0 +1,287 @@
+//! Acceptance battery for the online serving subsystem (`elsa-serve`).
+//!
+//! Four promises are under test, per the serving design:
+//!
+//! * **(a) Determinism** — the same seeded arrival trace produces a
+//!   bit-identical `ServeReport` (`f64::to_bits`, never an epsilon) at any
+//!   `ELSA_THREADS`, including under a chaotic fault plan.
+//! * **(b) Offline equivalence** — with an unbounded queue, no batching
+//!   wait, batch size 1, and a simultaneous trace, the online pipeline's
+//!   per-request records are bit-identical to
+//!   `InferenceServer::serve` on the materialized requests.
+//! * **(c) Overload behavior** — accounting is exact
+//!   (`offered = served + shed + timed-out + failed`) at every load, and
+//!   SLO attainment degrades monotonically across increasing λ on the
+//!   *same* request sequence (the arrival generator's forked streams keep
+//!   shapes fixed while λ compresses the timeline).
+//! * **(d) Padding waste** — length-bucketed (ELSA) batching sustains at
+//!   least the throughput of the pad-to-batch-max (GPU-style) emulation on
+//!   a mixed-length trace, because padding only ever adds rows.
+//!
+//! Reproduce any failure with the reported seed:
+//! `ELSA_TESTKIT_SEED=0x... cargo test --test online_serving`.
+
+use std::sync::OnceLock;
+
+use elsa::algorithm::attention::{ElsaAttention, ElsaParams};
+use elsa::fault::{FaultPlan, FaultRates};
+use elsa::linalg::SeededRng;
+use elsa::parallel::with_threads;
+use elsa::runtime::InferenceServer;
+use elsa::serve::{
+    ArrivalConfig, ArrivalTrace, Backpressure, BatchPolicy, BatcherMode, OnlineServer, Outcome,
+    ServeConfig, ServeReport,
+};
+use elsa::sim::AcceleratorConfig;
+use elsa::workloads::trace::WorkloadTrace;
+use elsa::workloads::{DatasetKind, ModelKind, Workload};
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn config() -> AcceleratorConfig {
+    AcceleratorConfig { n_max: 200, num_accelerators: 4, ..AcceleratorConfig::paper() }
+}
+
+fn workload() -> Workload {
+    Workload { model: ModelKind::SasRec, dataset: DatasetKind::MovieLens1M }
+}
+
+/// One learned operator shared by the whole battery (learning is the
+/// expensive step and is orthogonal to the serving layer).
+fn operator() -> &'static ElsaAttention {
+    static OPERATOR: OnceLock<ElsaAttention> = OnceLock::new();
+    OPERATOR.get_or_init(|| {
+        let mut rng = SeededRng::new(0x5E4E);
+        let train = workload().generate_batch(1, &mut rng);
+        ElsaAttention::learn(ElsaParams::for_dims(64, 64, &mut SeededRng::new(0x5E4F)), &train, 1.0)
+    })
+}
+
+/// Bit-exact projection of a serve report: every `f64` as raw bits.
+fn report_bits(report: &ServeReport) -> Vec<(usize, u64, u64, u64, u32, String)> {
+    report
+        .records
+        .iter()
+        .map(|r| {
+            (
+                r.n_real,
+                r.queue_delay_s.to_bits(),
+                r.service_s.to_bits(),
+                r.completion_s.to_bits(),
+                r.retries,
+                format!("{:?}", r.outcome),
+            )
+        })
+        .collect()
+}
+
+// ---- (a) cross-thread determinism ----
+
+#[test]
+fn serve_report_is_bit_identical_across_worker_counts() {
+    let trace = ArrivalTrace::generate(
+        &workload(),
+        &ArrivalConfig { slo_ns: Some(500_000), ..ArrivalConfig::poisson(120_000.0, 40) },
+        &mut SeededRng::new(0xA11CE),
+    );
+    let serve_config = ServeConfig {
+        queue_capacity: Some(16),
+        backpressure: Backpressure::ShedNewest,
+        batch: BatchPolicy { max_batch: 4, max_wait_ns: 50_000, length_buckets: vec![96, 200] },
+        shed_unmeetable: true,
+        ..ServeConfig::default()
+    };
+    let server =
+        OnlineServer::new(config(), operator().clone(), FaultPlan::none(), serve_config);
+    let baseline = with_threads(1, || server.serve(&trace).expect("healthy pool"));
+    for workers in WORKER_COUNTS {
+        let report = with_threads(workers, || server.serve(&trace).expect("healthy pool"));
+        assert_eq!(report_bits(&baseline), report_bits(&report), "{workers} workers diverged");
+        assert_eq!(baseline, report, "{workers} workers diverged beyond the bit projection");
+    }
+}
+
+#[test]
+fn chaotic_fault_plan_stays_deterministic_across_worker_counts() {
+    let trace = ArrivalTrace::generate(
+        &workload(),
+        &ArrivalConfig::poisson(150_000.0, 32),
+        &mut SeededRng::new(0xB0B),
+    );
+    let server = OnlineServer::new(
+        config(),
+        operator().clone(),
+        FaultPlan::seeded(0xC4A05, FaultRates::chaotic()),
+        ServeConfig::default(),
+    );
+    match with_threads(1, || server.serve(&trace)) {
+        Ok(baseline) => {
+            for workers in WORKER_COUNTS {
+                let report =
+                    with_threads(workers, || server.serve(&trace).expect("matched baseline"));
+                assert_eq!(report_bits(&baseline), report_bits(&report));
+                assert_eq!(baseline, report);
+            }
+        }
+        Err(err) => {
+            // A plan that kills the whole pool must fail identically too.
+            for workers in WORKER_COUNTS {
+                assert_eq!(with_threads(workers, || server.serve(&trace)).unwrap_err(), err);
+            }
+        }
+    }
+}
+
+// ---- (b) offline equivalence ----
+
+#[test]
+fn degenerate_online_pipeline_matches_offline_server_bit_for_bit() {
+    let recorded = WorkloadTrace::record(&workload(), 20, &mut SeededRng::new(0xD1CE));
+    let requests = recorded.materialize();
+    let offline = InferenceServer::new(config(), operator().clone()).serve(&requests);
+
+    let online_server = OnlineServer::new(
+        config(),
+        operator().clone(),
+        FaultPlan::none(),
+        ServeConfig::immediate(),
+    );
+    let online = online_server
+        .serve(&ArrivalTrace::simultaneous(&recorded))
+        .expect("healthy pool")
+        .to_serving_report();
+
+    assert_eq!(offline.records.len(), online.records.len());
+    for (i, (off, on)) in offline.records.iter().zip(&online.records).enumerate() {
+        assert_eq!(off.n_real, on.n_real, "request {i}");
+        assert_eq!(
+            off.service_s.to_bits(),
+            on.service_s.to_bits(),
+            "request {i}: service {} vs {}",
+            off.service_s,
+            on.service_s
+        );
+        assert_eq!(
+            off.completion_s.to_bits(),
+            on.completion_s.to_bits(),
+            "request {i}: completion {} vs {}",
+            off.completion_s,
+            on.completion_s
+        );
+        assert_eq!(off.degraded, on.degraded, "request {i}");
+        assert_eq!(off.failed, on.failed, "request {i}");
+    }
+    // The whole-report comparison catches anything the field loop missed.
+    assert_eq!(offline, online);
+}
+
+// ---- (c) overload: exact accounting + monotone SLO degradation ----
+
+#[test]
+fn overload_accounting_is_exact_and_slo_degrades_monotonically_in_lambda() {
+    // The three loads share one seed: the arrival generator's forked
+    // streams keep the request sequence fixed while λ compresses the
+    // timeline, so attainment across loads compares like with like.
+    // Saturation for this pool is ≈ 2M req/s (4 units, ≈ 1.9 µs/request on
+    // the approximate pipeline): the sweep crosses it from comfortably
+    // under to 10× over.
+    let lambdas = [800_000.0, 8_000_000.0, 20_000_000.0];
+    let serve_config = ServeConfig {
+        queue_capacity: Some(12),
+        backpressure: Backpressure::ShedNewest,
+        batch: BatchPolicy::single_bucket(4, 4_000),
+        shed_unmeetable: true,
+        ..ServeConfig::default()
+    };
+    let server =
+        OnlineServer::new(config(), operator().clone(), FaultPlan::none(), serve_config);
+    let mut attainments = Vec::new();
+    for lambda in lambdas {
+        let trace = ArrivalTrace::generate(
+            &workload(),
+            &ArrivalConfig { slo_ns: Some(12_000), ..ArrivalConfig::poisson(lambda, 80) },
+            &mut SeededRng::new(0x10AD),
+        );
+        let report = server.serve(&trace).expect("healthy pool");
+        assert_eq!(
+            report.served_count()
+                + report.shed_count()
+                + report.timed_out_count()
+                + report.failed_count(),
+            report.offered_count(),
+            "accounting must be exact at λ = {lambda}"
+        );
+        assert_eq!(report.offered_count(), 80);
+        // Every record belongs to exactly one outcome class by construction;
+        // spot-check the partition is honest, not just the counters.
+        let by_match = report
+            .records
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.outcome,
+                    Outcome::Served { .. }
+                        | Outcome::ShedQueueFull
+                        | Outcome::ShedUnmeetable
+                        | Outcome::TimedOut
+                        | Outcome::Failed
+                )
+            })
+            .count();
+        assert_eq!(by_match, 80);
+        attainments.push(report.slo_attainment());
+    }
+    assert!(
+        attainments.windows(2).all(|w| w[0] >= w[1]),
+        "SLO attainment must not improve with load: {attainments:?}"
+    );
+    assert!(
+        attainments[0] > attainments[2],
+        "8× overload must strictly degrade attainment: {attainments:?}"
+    );
+    assert!(attainments[0] > 0.9, "light load should mostly meet the SLO: {attainments:?}");
+}
+
+// ---- (d) bucketed vs padded throughput ----
+
+#[test]
+fn bucketed_batching_sustains_at_least_padded_throughput() {
+    // High λ and a wide-open batch window force full batches of mixed
+    // lengths — the worst case for pad-to-max.
+    let trace = ArrivalTrace::generate(
+        &workload(),
+        &ArrivalConfig::poisson(1_000_000.0, 48),
+        &mut SeededRng::new(0xFAD),
+    );
+    let serve = |mode| {
+        let server = OnlineServer::new(
+            config(),
+            operator().clone(),
+            FaultPlan::none(),
+            ServeConfig {
+                batch: BatchPolicy::single_bucket(8, 2_000_000),
+                mode,
+                ..ServeConfig::default()
+            },
+        );
+        server.serve(&trace).expect("healthy pool")
+    };
+    let bucketed = serve(BatcherMode::Bucketed);
+    let padded = serve(BatcherMode::Padded);
+    assert_eq!(bucketed.served_count(), 48);
+    assert_eq!(padded.served_count(), 48);
+    assert!(
+        padded.bucket_stats[0].padded_rows > 0,
+        "the trace must actually mix lengths for this comparison to bite"
+    );
+    assert_eq!(bucketed.bucket_stats[0].padded_rows, 0, "ELSA pays no padding");
+    let (b, p) = (bucketed.throughput_per_s(), padded.throughput_per_s());
+    assert!(
+        b >= p,
+        "bucketed throughput {b} must be at least padded throughput {p}"
+    );
+    // Per-request: padding can only add work.
+    for (bu, pa) in bucketed.records.iter().zip(&padded.records) {
+        assert!(pa.service_s >= bu.service_s, "request {} got cheaper when padded", bu.id);
+    }
+}

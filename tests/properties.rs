@@ -88,13 +88,45 @@ props! {
         }
     }
 
+    // Monotone in q even for out-of-range quantiles (q is drawn well
+    // outside [0, 100]): `ops::percentile` clamps the rank, so q <= 0 pins
+    // to the min, q >= 100 to the max, and the serving-report percentiles
+    // built on it (`ServingReport::completion_percentile_s`, the
+    // `ServeReport` queue-delay percentiles) can never index out of bounds
+    // or extrapolate.
     fn percentile_is_monotone(
         values in vecs(range(-100.0, 100.0), 1, 50),
-        q1 in range(0.0, 100.0),
-        q2 in range(0.0, 100.0),
+        q1 in range(-100.0, 250.0),
+        q2 in range(-100.0, 250.0),
     ) {
         let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
         prop_assert!(ops::percentile(&values, lo) <= ops::percentile(&values, hi) + 1e-12);
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for q in [lo, hi] {
+            let p = ops::percentile(&values, q);
+            prop_assert!((min..=max).contains(&p), "percentile({q}) = {p} outside [{min}, {max}]");
+        }
+        prop_assert_eq!(ops::percentile(&values, -5.0), min);
+        prop_assert_eq!(ops::percentile(&values, 205.0), max);
+    }
+
+    // The serving report inherits the clamp: out-of-range quantiles pin to
+    // the fastest / slowest surviving completion.
+    fn serving_report_percentile_clamps(
+        times in vecs(range(0.001, 100.0), 1, 24),
+        q in range(-100.0, 300.0),
+    ) {
+        use elsa::runtime::{RequestRecord, ServingReport};
+        let report = ServingReport {
+            records: times.iter().map(|&t| RequestRecord::served(8, t, t)).collect(),
+        };
+        let p = report.completion_percentile_s(q);
+        let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = times.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((min..=max).contains(&p));
+        prop_assert_eq!(report.completion_percentile_s(-1.0), min);
+        prop_assert_eq!(report.completion_percentile_s(101.0), max);
     }
 
     // ---- binary hashes ----
