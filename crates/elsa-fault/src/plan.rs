@@ -136,6 +136,7 @@ impl FaultPlan {
     /// Panics if `ELSA_TESTKIT_SEED` is set but not a valid `u64`.
     #[must_use]
     pub fn from_env(default_seed: u64, rates: FaultRates) -> Self {
+        // elsa-lint: allow(nondeterminism) reason="replay hook: an explicit seed override for reproducing chaos failures, fully deterministic for a given environment"
         let seed = std::env::var("ELSA_TESTKIT_SEED").ok().map_or(default_seed, |raw| {
             let raw = raw.trim().to_owned();
             let parsed = raw

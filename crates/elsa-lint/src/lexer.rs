@@ -1,0 +1,458 @@
+//! A comment- and string-aware token scanner for Rust source.
+//!
+//! This is deliberately **not** a parser: the lint rules only need to know
+//! whether a byte is code, comment, or literal, what identifier it belongs
+//! to, and on which line it sits. The scanner therefore produces a flat
+//! token stream with accurate line numbers and literal/comment boundaries —
+//! enough for the rules in [`crate::rules`] to match token *sequences*
+//! (e.g. `env :: var ( "ELSA_THREADS"`) without ever being fooled by the
+//! same text inside a string literal or a comment.
+//!
+//! The scanner is total: it never panics, on any byte sequence (enforced by
+//! a property test over arbitrary byte strings). Malformed input degrades to
+//! `Unknown`/`Punct` tokens; an unterminated literal or comment simply runs
+//! to end of input.
+
+/// The lexical class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `unsafe`, `r#fn`).
+    Ident,
+    /// Numeric literal (`42`, `0xFF`, `1.5`).
+    Number,
+    /// A single punctuation byte (`.`, `:`, `{`, …).
+    Punct(u8),
+    /// String or byte-string literal with escapes (`"…"`, `b"…"`).
+    Str,
+    /// Raw (byte-)string literal (`r"…"`, `r#"…"#`, `br#"…"#`).
+    RawStr,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    CharLit,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// `// …` comment (including doc comments).
+    LineComment,
+    /// `/* … */` comment, nesting-aware.
+    BlockComment,
+}
+
+/// One token: kind, 1-based line of its first byte, and byte span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// 1-based line number of the token's first byte.
+    pub line: u32,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's bytes within `src`.
+    ///
+    /// Returns an empty slice if the span is out of bounds for `src` (only
+    /// possible when `src` is not the buffer the token was lexed from).
+    #[must_use]
+    pub fn bytes<'a>(&self, src: &'a [u8]) -> &'a [u8] {
+        src.get(self.start..self.end).unwrap_or(&[])
+    }
+
+    /// The token's text, lossily decoded.
+    #[must_use]
+    pub fn text(&self, src: &[u8]) -> String {
+        String::from_utf8_lossy(self.bytes(src)).into_owned()
+    }
+
+    /// For [`TokenKind::Str`] tokens, the content between the quotes (no
+    /// escape processing); `None` for other kinds or malformed spans.
+    #[must_use]
+    pub fn str_content(&self, src: &[u8]) -> Option<String> {
+        if self.kind != TokenKind::Str {
+            return None;
+        }
+        let bytes = self.bytes(src);
+        let open = bytes.iter().position(|&b| b == b'"')?;
+        let close = bytes.iter().rposition(|&b| b == b'"')?;
+        if close <= open {
+            return None;
+        }
+        Some(String::from_utf8_lossy(&bytes[open + 1..close]).into_owned())
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+struct Scanner<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: u32,
+}
+
+impl Scanner<'_> {
+    fn peek(&self, k: usize) -> Option<u8> {
+        self.src.get(self.i + k).copied()
+    }
+
+    fn bump(&mut self) {
+        if let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                self.line += 1;
+            }
+            self.i += 1;
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    /// Consumes a `//`-comment up to (not including) the newline.
+    fn line_comment(&mut self) {
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    /// Consumes a `/* … */` comment, tracking nesting; the leading `/*` has
+    /// already been consumed.
+    fn block_comment(&mut self) {
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump_n(2);
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump_n(2);
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Consumes an escape-aware `"…"` body; the opening quote has already
+    /// been consumed.
+    fn quoted(&mut self) {
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes a raw-string body terminated by `"` followed by `hashes`
+    /// `#` bytes; the opening `"` has already been consumed.
+    fn raw_quoted(&mut self, hashes: usize) {
+        while let Some(b) = self.peek(0) {
+            self.bump();
+            if b == b'"' && (0..hashes).all(|k| self.peek(k) == Some(b'#')) {
+                self.bump_n(hashes);
+                break;
+            }
+        }
+    }
+
+    /// Consumes a char/byte-literal body; the opening `'` has already been
+    /// consumed. Stops at the closing quote, a raw newline, or end of input.
+    fn char_literal(&mut self) {
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.bump_n(2),
+                b'\'' => {
+                    self.bump();
+                    break;
+                }
+                b'\n' => break,
+                _ => self.bump(),
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        while let Some(b) = self.peek(0) {
+            if !is_ident_continue(b) {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    /// Number of consecutive `#` bytes starting at lookahead offset `k`.
+    fn count_hashes(&self, k: usize) -> usize {
+        let mut n = 0;
+        while self.peek(k + n) == Some(b'#') {
+            n += 1;
+        }
+        n
+    }
+}
+
+/// Lexes `src` into a flat token stream. Whitespace is skipped; everything
+/// else (including comments) becomes a token. Total: never panics.
+#[must_use]
+pub fn lex(src: &[u8]) -> Vec<Token> {
+    let mut s = Scanner { src, i: 0, line: 1 };
+    let mut tokens = Vec::new();
+    while let Some(b) = s.peek(0) {
+        if b.is_ascii_whitespace() {
+            s.bump();
+            continue;
+        }
+        let (start, line) = (s.i, s.line);
+        let kind = match b {
+            b'/' if s.peek(1) == Some(b'/') => {
+                s.bump_n(2);
+                s.line_comment();
+                TokenKind::LineComment
+            }
+            b'/' if s.peek(1) == Some(b'*') => {
+                s.bump_n(2);
+                s.block_comment();
+                TokenKind::BlockComment
+            }
+            b'"' => {
+                s.bump();
+                s.quoted();
+                TokenKind::Str
+            }
+            b'r' | b'b' => scan_prefixed(&mut s),
+            b'\'' => {
+                // Lifetime iff the quote is followed by an identifier that
+                // is *not* immediately closed by another quote.
+                if s.peek(1).is_some_and(is_ident_start) && s.peek(2) != Some(b'\'') {
+                    s.bump();
+                    s.ident();
+                    TokenKind::Lifetime
+                } else {
+                    s.bump();
+                    s.char_literal();
+                    TokenKind::CharLit
+                }
+            }
+            _ if is_ident_start(b) => {
+                s.ident();
+                TokenKind::Ident
+            }
+            _ if b.is_ascii_digit() => {
+                while let Some(c) = s.peek(0) {
+                    if is_ident_continue(c) {
+                        s.bump();
+                    } else if c == b'.' && s.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                        // `1.5` continues the number; `0..n` and `x.0.y` do
+                        // not swallow the dot.
+                        s.bump();
+                    } else {
+                        break;
+                    }
+                }
+                TokenKind::Number
+            }
+            _ => {
+                s.bump();
+                TokenKind::Punct(b)
+            }
+        };
+        // Defensive: guarantee forward progress on any input.
+        if s.i == start {
+            s.bump();
+        }
+        tokens.push(Token { kind, line, start, end: s.i });
+    }
+    tokens
+}
+
+/// Scans a token starting with `r` or `b`: raw strings (`r"`, `r#"`),
+/// byte strings (`b"`), byte chars (`b'`), raw byte strings (`br"`, `br#"`),
+/// raw identifiers (`r#fn`), or a plain identifier.
+fn scan_prefixed(s: &mut Scanner<'_>) -> TokenKind {
+    let b = s.peek(0).unwrap_or(0);
+    if b == b'r' {
+        match s.peek(1) {
+            Some(b'"') => {
+                s.bump_n(2);
+                s.raw_quoted(0);
+                return TokenKind::RawStr;
+            }
+            Some(b'#') => {
+                let hashes = s.count_hashes(1);
+                if s.peek(1 + hashes) == Some(b'"') {
+                    s.bump_n(2 + hashes);
+                    s.raw_quoted(hashes);
+                    return TokenKind::RawStr;
+                }
+                if hashes == 1 && s.peek(2).is_some_and(is_ident_start) {
+                    // Raw identifier `r#type`.
+                    s.bump_n(2);
+                    s.ident();
+                    return TokenKind::Ident;
+                }
+            }
+            _ => {}
+        }
+    } else {
+        // b == b'b'
+        match s.peek(1) {
+            Some(b'"') => {
+                s.bump_n(2);
+                s.quoted();
+                return TokenKind::Str;
+            }
+            Some(b'\'') => {
+                s.bump_n(2);
+                s.char_literal();
+                return TokenKind::CharLit;
+            }
+            Some(b'r') => {
+                let hashes = s.count_hashes(2);
+                if s.peek(2 + hashes) == Some(b'"') {
+                    s.bump_n(3 + hashes);
+                    s.raw_quoted(hashes);
+                    return TokenKind::RawStr;
+                }
+            }
+            _ => {}
+        }
+    }
+    s.ident();
+    TokenKind::Ident
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src.as_bytes()).into_iter().map(|t| t.kind).collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        let bytes = src.as_bytes();
+        lex(bytes)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(bytes))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        assert_eq!(idents("let x = foo.bar();"), ["let", "x", "foo", "bar"]);
+    }
+
+    #[test]
+    fn line_numbers_are_accurate() {
+        let src = b"a\nbb\n\nccc";
+        let lines: Vec<u32> = lex(src).into_iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn strings_hide_their_content() {
+        assert_eq!(idents(r#"let s = "Instant::now() panic!";"#), ["let", "s"]);
+        assert_eq!(idents(r#"let s = b"unwrap";"#), ["let", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_hide_their_content() {
+        let src = r####"let s = r#"x.unwrap() "quoted" more"# ; done"####;
+        assert_eq!(idents(src), ["let", "s", "done"]);
+        let src = r####"let s = br##"bytes "# here"## ; done"####;
+        assert_eq!(idents(src), ["let", "s", "done"]);
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        assert_eq!(idents(r#"let s = "a\"b Instant \"c"; tail"#), ["let", "s", "tail"]);
+    }
+
+    #[test]
+    fn comments_are_tokens_with_hidden_content() {
+        let src = "code // trailing unwrap()\nmore /* block\npanic! */ after";
+        assert_eq!(idents(src), ["code", "more", "after"]);
+        let comment_kinds: Vec<TokenKind> = lex(src.as_bytes())
+            .into_iter()
+            .filter(|t| matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+            .map(|t| t.kind)
+            .collect();
+        assert_eq!(comment_kinds, [TokenKind::LineComment, TokenKind::BlockComment]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert_eq!(idents("a /* outer /* inner */ still comment */ b"), ["a", "b"]);
+    }
+
+    #[test]
+    fn lifetimes_versus_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let q = '\\''; }";
+        let toks = lex(src.as_bytes());
+        let lifetimes = toks.iter().filter(|t| t.kind == TokenKind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == TokenKind::CharLit).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn static_lifetime_is_a_lifetime() {
+        let toks = lex(b"&'static str");
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Lifetime));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(idents("let r#type = 1;"), ["let", "r#type"]);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_method_calls() {
+        // `x.0.unwrap()` must expose `unwrap` as an identifier after a dot.
+        let src = "x.0.unwrap()";
+        assert_eq!(idents(src), ["x", "unwrap"]);
+        // while real float literals stay single tokens
+        assert_eq!(kinds("1.5"), [TokenKind::Number]);
+        assert_eq!(kinds("0..9"), [
+            TokenKind::Number,
+            TokenKind::Punct(b'.'),
+            TokenKind::Punct(b'.'),
+            TokenKind::Number
+        ]);
+    }
+
+    #[test]
+    fn str_content_extraction() {
+        let src = br#"env::var("ELSA_THREADS")"#;
+        let toks = lex(src);
+        let content: Vec<String> =
+            toks.iter().filter_map(|t| t.str_content(src)).collect();
+        assert_eq!(content, ["ELSA_THREADS"]);
+    }
+
+    #[test]
+    fn unterminated_literals_run_to_end_without_panicking() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'", "b\"x", "r#"] {
+            let toks = lex(src.as_bytes());
+            assert!(!toks.is_empty());
+        }
+    }
+}

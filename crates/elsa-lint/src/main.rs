@@ -1,0 +1,130 @@
+//! `elsa-lint` CLI.
+//!
+//! ```text
+//! cargo run -p elsa-lint                       # all rules over the workspace
+//! cargo run -p elsa-lint -- --rule offline-deps  # one rule (the dep guard)
+//! cargo run -p elsa-lint -- --list-waivers       # audit every active waiver
+//! cargo run -p elsa-lint -- --root /path/to/ws   # explicit workspace root
+//! ```
+//!
+//! Exit status: `0` when every finding is waived (or none exist), `1` on any
+//! unwaived finding, `2` on usage or I/O errors. `--list-waivers` always
+//! exits `0`: it is an audit view, not a gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use elsa_lint::{check_workspace, find_workspace_root, RuleId, RuleSet};
+
+struct Options {
+    root: Option<PathBuf>,
+    rules: Vec<RuleId>,
+    list_waivers: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: elsa-lint [--root PATH] [--rule ID]... [--list-waivers]\n\
+     rules: D1/nondeterminism D2/hash-collections D3/threads-env \
+     P1/panic-policy O1/offline-deps U1/unsafe-safety"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options { root: None, rules: Vec::new(), list_waivers: false };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let path = args.next().ok_or("--root requires a path")?;
+                opts.root = Some(PathBuf::from(path));
+            }
+            "--rule" => {
+                let id = args.next().ok_or("--rule requires a rule id")?;
+                let rule =
+                    RuleId::parse(&id).ok_or_else(|| format!("unknown rule `{id}`"))?;
+                opts.rules.push(rule);
+            }
+            "--list-waivers" => opts.list_waivers = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unrecognized argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("elsa-lint: {msg}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let root = match opts.root.or_else(|| {
+        std::env::current_dir().ok().and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(root) => root,
+        None => {
+            eprintln!("elsa-lint: no workspace root found (run from the repo or pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let rules = if opts.rules.is_empty() { RuleSet::all() } else { RuleSet::only(&opts.rules) };
+    let report = match check_workspace(&root, &rules) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("elsa-lint: I/O error while scanning {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_waivers {
+        if report.waivers.is_empty() {
+            println!("no active waivers");
+        }
+        for w in &report.waivers {
+            let status = if w.used || !rules.contains(w.rule) { "" } else { " [UNUSED]" };
+            println!(
+                "{}:{}: allow({} {}) reason=\"{}\"{status}",
+                w.file,
+                w.line,
+                w.rule.code(),
+                w.rule.name(),
+                w.reason
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    for finding in report.unwaived() {
+        println!("{}", finding.render());
+    }
+    // A waiver can only be judged stale when its rule actually ran: a
+    // `--rule offline-deps` pass must not flag untouched panic-policy waivers.
+    let stale =
+        report.waivers.iter().filter(|w| !w.used && rules.contains(w.rule)).count();
+    if stale > 0 {
+        eprintln!(
+            "note: {stale} waiver(s) no longer match any finding \
+             (see --list-waivers); consider removing them"
+        );
+    }
+    let unwaived = report.unwaived().len();
+    println!(
+        "elsa-lint: {} file(s), {} manifest(s) scanned; {} finding(s) \
+         ({} waived, {} gating)",
+        report.files_scanned,
+        report.manifests_scanned,
+        report.findings.len(),
+        report.waived().len(),
+        unwaived
+    );
+    if unwaived > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,712 @@
+//! The repo-specific rule set.
+//!
+//! Every rule enforces, at the source level, a contract the test batteries
+//! otherwise only probe dynamically:
+//!
+//! | code | id                | contract                                           |
+//! |------|-------------------|----------------------------------------------------|
+//! | D1   | `nondeterminism`  | no wall-clock/entropy sources outside bench/testkit |
+//! | D2   | `hash-collections`| no `HashMap`/`HashSet` in deterministic crates      |
+//! | D3   | `threads-env`     | `ELSA_THREADS` is read only by `elsa-parallel`      |
+//! | P1   | `panic-policy`    | no panicking calls in serving-path crates           |
+//! | O1   | `offline-deps`    | every dependency is an in-tree path dependency      |
+//! | U1   | `unsafe-safety`   | every `unsafe` carries a `// SAFETY:` comment       |
+//! | W0   | `waiver-syntax`   | waiver comments must parse and carry a reason       |
+//!
+//! Rules D1–U1 can be waived per-site with the syntax in [`crate::waiver`];
+//! W0 cannot.
+
+use crate::lexer::{self, Token, TokenKind};
+use crate::waiver::{self, Waiver};
+
+/// Identifier of one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// D1: wall-clock or entropy source outside the explicit allowlist.
+    Nondeterminism,
+    /// D2: `HashMap`/`HashSet` in a crate promising deterministic output.
+    HashCollections,
+    /// D3: `ELSA_THREADS` read outside `elsa-parallel`.
+    ThreadsEnv,
+    /// P1: panicking construct in a serving-path crate's non-test code.
+    PanicPolicy,
+    /// O1: a `Cargo.toml` dependency that is not an in-tree path dep.
+    OfflineDeps,
+    /// U1: `unsafe` without an adjacent `// SAFETY:` comment.
+    UnsafeSafety,
+    /// W0: malformed waiver comment (never waivable itself).
+    WaiverSyntax,
+}
+
+impl RuleId {
+    /// All rules, in report order.
+    pub const ALL: [RuleId; 7] = [
+        RuleId::Nondeterminism,
+        RuleId::HashCollections,
+        RuleId::ThreadsEnv,
+        RuleId::PanicPolicy,
+        RuleId::OfflineDeps,
+        RuleId::UnsafeSafety,
+        RuleId::WaiverSyntax,
+    ];
+
+    /// Short code (`D1` … `W0`).
+    #[must_use]
+    pub const fn code(self) -> &'static str {
+        match self {
+            RuleId::Nondeterminism => "D1",
+            RuleId::HashCollections => "D2",
+            RuleId::ThreadsEnv => "D3",
+            RuleId::PanicPolicy => "P1",
+            RuleId::OfflineDeps => "O1",
+            RuleId::UnsafeSafety => "U1",
+            RuleId::WaiverSyntax => "W0",
+        }
+    }
+
+    /// Kebab-case id (`nondeterminism` …).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            RuleId::Nondeterminism => "nondeterminism",
+            RuleId::HashCollections => "hash-collections",
+            RuleId::ThreadsEnv => "threads-env",
+            RuleId::PanicPolicy => "panic-policy",
+            RuleId::OfflineDeps => "offline-deps",
+            RuleId::UnsafeSafety => "unsafe-safety",
+            RuleId::WaiverSyntax => "waiver-syntax",
+        }
+    }
+
+    /// Parses either the code (`D1`) or the kebab id (`nondeterminism`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<RuleId> {
+        RuleId::ALL
+            .into_iter()
+            .find(|r| r.code().eq_ignore_ascii_case(s) || r.name() == s)
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The violated rule.
+    pub rule: RuleId,
+    /// What was found.
+    pub message: String,
+    /// `Some(reason)` when a waiver covers this finding.
+    pub waived: Option<String>,
+}
+
+impl Finding {
+    /// Render as `file:line: [code id] message`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let waived = match &self.waived {
+            Some(reason) => format!(" (waived: {reason})"),
+            None => String::new(),
+        };
+        format!(
+            "{}:{}: [{} {}] {}{}",
+            self.file,
+            self.line,
+            self.rule.code(),
+            self.rule.name(),
+            self.message,
+            waived
+        )
+    }
+}
+
+/// The set of rules a run enforces.
+#[derive(Debug, Clone)]
+pub struct RuleSet {
+    enabled: Vec<RuleId>,
+}
+
+impl RuleSet {
+    /// Every rule.
+    #[must_use]
+    pub fn all() -> Self {
+        Self { enabled: RuleId::ALL.to_vec() }
+    }
+
+    /// Only the given rules (W0 is always kept on: waiver syntax must hold
+    /// whenever waivers are interpreted at all).
+    #[must_use]
+    pub fn only(rules: &[RuleId]) -> Self {
+        let mut enabled = rules.to_vec();
+        if !enabled.contains(&RuleId::WaiverSyntax) {
+            enabled.push(RuleId::WaiverSyntax);
+        }
+        enabled.sort();
+        enabled.dedup();
+        Self { enabled }
+    }
+
+    /// Whether `rule` is enforced by this set.
+    #[must_use]
+    pub fn contains(&self, rule: RuleId) -> bool {
+        self.enabled.contains(&rule)
+    }
+}
+
+/// Crates whose outputs must be bit-identical at any worker count and across
+/// runs: D2 bans hash-ordered collections here outright.
+pub const DETERMINISTIC_CRATES: &[&str] = &[
+    "elsa-attention",
+    "elsa-core",
+    "elsa-fault",
+    "elsa-linalg",
+    "elsa-parallel",
+    "elsa-runtime",
+    "elsa-serve",
+    "elsa-sim",
+    "elsa-sparse",
+];
+
+/// Crates allowed to touch wall clocks and environment seeds: the bench
+/// binaries time real executions, and the testkit owns seed plumbing.
+pub const ENTROPY_EXEMPT_CRATES: &[&str] = &["elsa-bench", "elsa-testkit"];
+
+/// Serving-path crates where P1 bans panicking constructs in non-test code.
+pub const PANIC_POLICY_CRATES: &[&str] = &["elsa-runtime", "elsa-serve"];
+
+/// Identifiers that name a wall-clock or entropy source.
+const ENTROPY_IDENTS: &[&str] =
+    &["Instant", "SystemTime", "UNIX_EPOCH", "thread_rng", "from_entropy", "OsRng", "getrandom"];
+
+/// Environment variables whose values act as entropy/seed inputs.
+const ENTROPY_ENV_VARS: &[&str] = &["RANDOM", "ELSA_TESTKIT_SEED"];
+
+/// Method names that panic on the error/none path.
+const PANIC_METHODS: &[&str] = &["unwrap", "unwrap_err", "expect", "expect_err"];
+
+/// Macros that panic unconditionally when reached.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+/// Runs every enabled source rule over one file.
+///
+/// `crate_name` decides rule applicability (see the scoping consts),
+/// `rel_path` is used verbatim in findings. Returns the findings (waived
+/// ones carry their reason) and every waiver comment found in the file.
+#[must_use]
+pub fn check_source(
+    crate_name: &str,
+    rel_path: &str,
+    src: &[u8],
+    enabled: &RuleSet,
+) -> (Vec<Finding>, Vec<Waiver>) {
+    let tokens = lexer::lex(src);
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .collect();
+
+    let mut findings = Vec::new();
+    let mut waivers = Vec::new();
+    for t in &tokens {
+        if !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        let text = t.text(src);
+        // Waivers live in plain comments only: doc comments describe APIs
+        // (and may legitimately *quote* the waiver syntax, as the waiver
+        // module's own docs do), so they never register as directives.
+        let is_doc = ["///", "//!", "/**", "/*!"].iter().any(|p| text.starts_with(p));
+        if is_doc || !text.contains(waiver::MARKER) {
+            continue;
+        }
+        match waiver::parse_directive(&text) {
+            Ok((rule, reason)) => waivers.push(Waiver {
+                file: rel_path.to_owned(),
+                line: t.line,
+                rule,
+                reason,
+                used: false,
+            }),
+            Err(msg) => findings.push(Finding {
+                file: rel_path.to_owned(),
+                line: t.line,
+                rule: RuleId::WaiverSyntax,
+                message: format!("malformed waiver: {msg}"),
+                waived: None,
+            }),
+        }
+    }
+
+    let test_regions = test_regions(&code, src);
+    let in_test = |line: u32| test_regions.iter().any(|&(lo, hi)| (lo..=hi).contains(&line));
+    let mut push = |line: u32, rule: RuleId, message: String| {
+        findings.push(Finding { file: rel_path.to_owned(), line, rule, message, waived: None });
+    };
+
+    let deterministic = DETERMINISTIC_CRATES.contains(&crate_name);
+    let entropy_exempt = ENTROPY_EXEMPT_CRATES.contains(&crate_name);
+    let panic_scoped = PANIC_POLICY_CRATES.contains(&crate_name);
+
+    // A line is SAFETY-documented if a comment containing "SAFETY:" sits on
+    // it or up to three lines above (U1).
+    let safety_lines: Vec<u32> = tokens
+        .iter()
+        .filter(|t| matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .filter(|t| t.text(src).contains("SAFETY:"))
+        .map(|t| t.line)
+        .collect();
+    let has_safety = |line: u32| {
+        safety_lines.iter().any(|&l| l <= line && line.saturating_sub(l) <= 3)
+    };
+
+    for (k, t) in code.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let ident = t.text(src);
+        let at = |off: usize| code.get(k + off).copied();
+        let punct_at = |off: usize, b: u8| at(off).is_some_and(|t| t.kind == TokenKind::Punct(b));
+
+        // `env :: var ( "NAME"` — the shared shape behind D1's seed-env rule
+        // and D3. The `env` prefix keeps unrelated `.var(...)` methods out.
+        let env_read: Option<String> = if ident == "env"
+            && punct_at(1, b':')
+            && punct_at(2, b':')
+            && at(3).is_some_and(|t| t.kind == TokenKind::Ident && t.text(src) == "var")
+            && punct_at(4, b'(')
+        {
+            at(5).and_then(|t| t.str_content(src))
+        } else {
+            None
+        };
+
+        if enabled.contains(RuleId::Nondeterminism) && !entropy_exempt {
+            if ENTROPY_IDENTS.contains(&ident.as_str()) {
+                push(
+                    t.line,
+                    RuleId::Nondeterminism,
+                    format!("wall-clock/entropy source `{ident}` outside bench/testkit"),
+                );
+            }
+            if let Some(name) = env_read.as_deref() {
+                if ENTROPY_ENV_VARS.contains(&name) {
+                    push(
+                        t.line,
+                        RuleId::Nondeterminism,
+                        format!("entropy-bearing environment read `env::var(\"{name}\")`"),
+                    );
+                }
+            }
+        }
+
+        if enabled.contains(RuleId::HashCollections)
+            && deterministic
+            && (ident == "HashMap" || ident == "HashSet")
+        {
+            push(
+                t.line,
+                RuleId::HashCollections,
+                format!(
+                    "`{ident}` in deterministic crate `{crate_name}`: iteration order is \
+                     unspecified; use `BTreeMap`/`BTreeSet` or sorted access"
+                ),
+            );
+        }
+
+        if enabled.contains(RuleId::ThreadsEnv)
+            && crate_name != "elsa-parallel"
+            && env_read.as_deref() == Some("ELSA_THREADS")
+        {
+            push(
+                t.line,
+                RuleId::ThreadsEnv,
+                "`ELSA_THREADS` may only be read inside elsa-parallel (single source \
+                 of worker-count truth)"
+                    .to_owned(),
+            );
+        }
+
+        if enabled.contains(RuleId::PanicPolicy) && panic_scoped && !in_test(t.line) {
+            let prev_is_dot = k > 0 && code[k - 1].kind == TokenKind::Punct(b'.');
+            if prev_is_dot && PANIC_METHODS.contains(&ident.as_str()) {
+                push(
+                    t.line,
+                    RuleId::PanicPolicy,
+                    format!("`.{ident}(...)` in serving-path crate `{crate_name}`"),
+                );
+            }
+            if punct_at(1, b'!') && PANIC_MACROS.contains(&ident.as_str()) {
+                push(
+                    t.line,
+                    RuleId::PanicPolicy,
+                    format!("`{ident}!` in serving-path crate `{crate_name}`"),
+                );
+            }
+        }
+
+        if enabled.contains(RuleId::UnsafeSafety) && ident == "unsafe" && !has_safety(t.line) {
+            push(
+                t.line,
+                RuleId::UnsafeSafety,
+                "`unsafe` without an adjacent `// SAFETY:` comment".to_owned(),
+            );
+        }
+    }
+
+    apply_waivers(&mut findings, &mut waivers);
+    (findings, waivers)
+}
+
+/// Marks findings covered by a waiver (same rule, same line or the line
+/// below the waiver) and flags those waivers as used. W0 findings are never
+/// waivable.
+fn apply_waivers(findings: &mut [Finding], waivers: &mut [Waiver]) {
+    for finding in findings.iter_mut() {
+        if finding.rule == RuleId::WaiverSyntax {
+            continue;
+        }
+        for waiver in waivers.iter_mut() {
+            if waiver.rule == finding.rule
+                && (waiver.line == finding.line || waiver.line + 1 == finding.line)
+            {
+                finding.waived = Some(waiver.reason.clone());
+                waiver.used = true;
+                break;
+            }
+        }
+    }
+}
+
+/// Line ranges (inclusive) of `#[cfg(test)]` / `#[test]`-annotated items.
+///
+/// The scan recognizes the attribute token shapes `# [ test ]` and
+/// `# [ cfg ( test ) ]`, skips any further attributes, and extends the
+/// region to the matching close brace of the item body (or its terminating
+/// semicolon). `cfg(not(test))` and feature-gated attributes are left alone.
+fn test_regions(code: &[&Token], src: &[u8]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut k = 0;
+    while k < code.len() {
+        if code[k].kind != TokenKind::Punct(b'#')
+            || code.get(k + 1).is_none_or(|t| t.kind != TokenKind::Punct(b'['))
+        {
+            k += 1;
+            continue;
+        }
+        let attr_start_line = code[k].line;
+        let close = match matching_bracket(code, k + 1) {
+            Some(c) => c,
+            None => break,
+        };
+        let inner: Vec<String> = code[k + 2..close]
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(src))
+            .collect();
+        let is_test = inner.as_slice() == ["test"]
+            || (inner.first().is_some_and(|i| i == "cfg")
+                && inner.iter().any(|i| i == "test")
+                && !inner.iter().any(|i| i == "not"));
+        if !is_test {
+            k = close + 1;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        let mut j = close + 1;
+        while code.get(j).is_some_and(|t| t.kind == TokenKind::Punct(b'#'))
+            && code.get(j + 1).is_some_and(|t| t.kind == TokenKind::Punct(b'['))
+        {
+            match matching_bracket(code, j + 1) {
+                Some(c) => j = c + 1,
+                None => return regions,
+            }
+        }
+        // The item body: everything to the matching `}` of its first brace,
+        // or to a `;` for a braceless item (`#[cfg(test)] mod tests;`).
+        let mut depth = 0usize;
+        let mut end_line = code.last().map_or(attr_start_line, |t| t.line);
+        while let Some(t) = code.get(j) {
+            match t.kind {
+                TokenKind::Punct(b'{') => depth += 1,
+                TokenKind::Punct(b'}') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end_line = t.line;
+                        break;
+                    }
+                }
+                TokenKind::Punct(b';') if depth == 0 => {
+                    end_line = t.line;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        regions.push((attr_start_line, end_line));
+        k = j + 1;
+    }
+    regions
+}
+
+/// Index of the `]` matching the `[` at `open`, tracking nesting.
+fn matching_bracket(code: &[&Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (off, t) in code[open..].iter().enumerate() {
+        match t.kind {
+            TokenKind::Punct(b'[') => depth += 1,
+            TokenKind::Punct(b']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(open + off);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(crate_name: &str, src: &str) -> (Vec<Finding>, Vec<Waiver>) {
+        check_source(crate_name, "test.rs", src.as_bytes(), &RuleSet::all())
+    }
+
+    fn unwaived(crate_name: &str, src: &str) -> Vec<Finding> {
+        run(crate_name, src).0.into_iter().filter(|f| f.waived.is_none()).collect()
+    }
+
+    // ---- D1 ---------------------------------------------------------------
+
+    #[test]
+    fn d1_flags_wall_clock_and_entropy() {
+        let hits = unwaived("elsa-core", "let t = std::time::Instant::now();\n");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, RuleId::Nondeterminism);
+        assert_eq!(hits[0].line, 1);
+        assert_eq!(unwaived("elsa-serve", "let t = SystemTime::now();").len(), 1);
+        assert_eq!(unwaived("elsa-core", "let mut r = thread_rng();").len(), 1);
+    }
+
+    #[test]
+    fn d1_flags_entropy_env_reads() {
+        let hits =
+            unwaived("elsa-fault", "let s = std::env::var(\"ELSA_TESTKIT_SEED\").ok();\n");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, RuleId::Nondeterminism);
+        assert_eq!(unwaived("elsa-core", "let s = std::env::var(\"RANDOM\");").len(), 1);
+        // Non-entropy env vars are not D1's business.
+        assert!(unwaived("elsa-core", "let s = std::env::var(\"HOME\");").is_empty());
+    }
+
+    #[test]
+    fn d1_allowlists_bench_and_testkit() {
+        assert!(unwaived("elsa-bench", "let t = Instant::now();").is_empty());
+        assert!(unwaived("elsa-testkit", "std::env::var(\"ELSA_TESTKIT_SEED\")").is_empty());
+    }
+
+    #[test]
+    fn d1_immune_to_strings_and_comments() {
+        assert!(unwaived("elsa-core", "let s = \"Instant::now()\"; // Instant::now()").is_empty());
+        assert!(unwaived("elsa-core", "/* SystemTime */ let x = 1;").is_empty());
+        assert!(unwaived("elsa-core", "let s = r#\"thread_rng()\"#;").is_empty());
+    }
+
+    #[test]
+    fn d1_waived_hit_is_reported_as_waived() {
+        let src = "// elsa-lint: allow(nondeterminism) reason=\"replay hook\"\n\
+                   let s = std::env::var(\"ELSA_TESTKIT_SEED\");\n";
+        let (findings, waivers) = run("elsa-fault", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].waived.as_deref(), Some("replay hook"));
+        assert!(waivers[0].used);
+    }
+
+    // ---- D2 ---------------------------------------------------------------
+
+    #[test]
+    fn d2_flags_hash_collections_in_deterministic_crates() {
+        let hits = unwaived("elsa-sparse", "use std::collections::HashMap;\n");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, RuleId::HashCollections);
+        assert_eq!(unwaived("elsa-core", "let s: HashSet<u32> = HashSet::new();").len(), 2);
+    }
+
+    #[test]
+    fn d2_ignores_unscoped_crates_and_strings() {
+        assert!(unwaived("elsa-workloads", "use std::collections::HashSet;").is_empty());
+        assert!(unwaived("elsa-core", "let s = \"HashMap\"; // HashMap").is_empty());
+        assert!(unwaived("elsa-core", "use std::collections::BTreeMap;").is_empty());
+    }
+
+    // ---- D3 ---------------------------------------------------------------
+
+    #[test]
+    fn d3_confines_elsa_threads_to_parallel() {
+        let hits = unwaived("elsa-core", "match std::env::var(\"ELSA_THREADS\") {}\n");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, RuleId::ThreadsEnv);
+        assert!(unwaived("elsa-parallel", "match std::env::var(\"ELSA_THREADS\") {}").is_empty());
+        // Mentioning the name in a string or docs is fine — only reads count.
+        assert!(unwaived("elsa-core", "let s = \"ELSA_THREADS\";").is_empty());
+    }
+
+    // ---- P1 ---------------------------------------------------------------
+
+    #[test]
+    fn p1_flags_panicking_constructs_in_serving_crates() {
+        assert_eq!(unwaived("elsa-runtime", "let v = x.unwrap();").len(), 1);
+        assert_eq!(unwaived("elsa-serve", "let v = x.expect(\"m\");").len(), 1);
+        assert_eq!(unwaived("elsa-runtime", "panic!(\"boom\");").len(), 1);
+        assert_eq!(unwaived("elsa-serve", "todo!()").len(), 1);
+        assert_eq!(unwaived("elsa-runtime", "unimplemented!()").len(), 1);
+    }
+
+    #[test]
+    fn p1_ignores_non_panicking_lookalikes() {
+        assert!(unwaived("elsa-runtime", "let v = x.unwrap_or(0);").is_empty());
+        assert!(unwaived("elsa-runtime", "let v = x.unwrap_or_else(|| 0);").is_empty());
+        assert!(unwaived("elsa-runtime", "let v = x.unwrap_or_default();").is_empty());
+        assert!(unwaived("elsa-serve", "std::panic::catch_unwind(f)").is_empty());
+        // `expect` not as a method call (no preceding dot) is not flagged.
+        assert!(unwaived("elsa-runtime", "fn expect(x: u32) {}").is_empty());
+    }
+
+    #[test]
+    fn p1_is_scoped_to_serving_crates() {
+        assert!(unwaived("elsa-core", "let v = x.unwrap();").is_empty());
+        assert!(unwaived("elsa-linalg", "panic!(\"fine here\");").is_empty());
+    }
+
+    #[test]
+    fn p1_skips_test_modules_and_test_fns() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn helper() { x.unwrap(); }\n}\n";
+        assert!(unwaived("elsa-runtime", src).is_empty());
+        let src = "#[test]\nfn t() { x.unwrap(); }\n";
+        assert!(unwaived("elsa-runtime", src).is_empty());
+        // …but code before/after the region is still scanned.
+        let src = "fn live() { a.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { b.unwrap(); } }\n";
+        let hits = unwaived("elsa-runtime", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 1);
+    }
+
+    #[test]
+    fn p1_does_not_skip_cfg_not_test() {
+        let src = "#[cfg(not(test))]\nfn live() { x.unwrap(); }\n";
+        assert_eq!(unwaived("elsa-runtime", src).len(), 1);
+    }
+
+    #[test]
+    fn p1_waiver_on_same_line_and_line_above() {
+        let same = "let v = x.unwrap(); // elsa-lint: allow(panic-policy) reason=\"invariant\"";
+        let (findings, _) = run("elsa-runtime", same);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].waived.is_some());
+        let above = "// elsa-lint: allow(panic-policy) reason=\"invariant\"\nlet v = x.unwrap();";
+        let (findings, _) = run("elsa-runtime", above);
+        assert!(findings[0].waived.is_some());
+        // Two lines away: not covered.
+        let far = "// elsa-lint: allow(panic-policy) reason=\"invariant\"\n\nlet v = x.unwrap();";
+        let (findings, _) = run("elsa-runtime", far);
+        assert!(findings.iter().any(|f| f.waived.is_none()));
+    }
+
+    #[test]
+    fn p1_immune_to_strings_and_comments() {
+        assert!(unwaived("elsa-runtime", "let s = \"x.unwrap()\"; // .unwrap()").is_empty());
+        assert!(unwaived("elsa-serve", "let s = r#\"panic!(\"x\")\"#;").is_empty());
+    }
+
+    // ---- U1 ---------------------------------------------------------------
+
+    #[test]
+    fn u1_requires_safety_comment() {
+        let bare = "fn f() { unsafe { core::hint::unreachable_unchecked() } }";
+        let hits = unwaived("elsa-linalg", bare);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, RuleId::UnsafeSafety);
+        let documented = "// SAFETY: n is checked above\nfn f() { unsafe { g() } }";
+        assert!(unwaived("elsa-linalg", documented).is_empty());
+    }
+
+    #[test]
+    fn u1_safety_comment_must_be_adjacent() {
+        let far = "// SAFETY: stale note\n\n\n\n\nfn f() { unsafe { g() } }";
+        assert_eq!(unwaived("elsa-linalg", far).len(), 1);
+    }
+
+    #[test]
+    fn u1_immune_to_strings_and_comments() {
+        assert!(unwaived("elsa-core", "let s = \"unsafe\"; // unsafe").is_empty());
+    }
+
+    // ---- W0 ---------------------------------------------------------------
+
+    #[test]
+    fn w0_flags_malformed_waivers() {
+        let (findings, waivers) = run("elsa-core", "// elsa-lint: allow(P1)\nlet x = 1;");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, RuleId::WaiverSyntax);
+        assert!(findings[0].waived.is_none());
+        assert!(waivers.is_empty());
+    }
+
+    #[test]
+    fn doc_comments_never_register_as_waivers() {
+        // Quoting the syntax in docs must neither create a waiver nor a W0.
+        let doc = "//! // elsa-lint: allow(panic-policy) reason=\"example\"\n\
+                   /// elsa-lint: allow(bogus-rule)\n\
+                   let v = x.unwrap();";
+        let (findings, waivers) = run("elsa-runtime", doc);
+        assert!(waivers.is_empty());
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, RuleId::PanicPolicy);
+        assert!(findings[0].waived.is_none());
+    }
+
+    #[test]
+    fn w0_flags_empty_reason_and_unknown_rule() {
+        let empty = "// elsa-lint: allow(panic-policy) reason=\"\"";
+        assert_eq!(unwaived("elsa-core", empty)[0].rule, RuleId::WaiverSyntax);
+        let unknown = "// elsa-lint: allow(nonsense) reason=\"x\"";
+        assert_eq!(unwaived("elsa-core", unknown)[0].rule, RuleId::WaiverSyntax);
+    }
+
+    // ---- rule set / ids ---------------------------------------------------
+
+    #[test]
+    fn rule_ids_round_trip() {
+        for rule in RuleId::ALL {
+            assert_eq!(RuleId::parse(rule.code()), Some(rule));
+            assert_eq!(RuleId::parse(rule.name()), Some(rule));
+        }
+        assert_eq!(RuleId::parse("bogus"), None);
+    }
+
+    #[test]
+    fn rule_filtering_disables_other_rules() {
+        let only_p1 = RuleSet::only(&[RuleId::PanicPolicy]);
+        let (findings, _) = check_source(
+            "elsa-runtime",
+            "t.rs",
+            b"let t = Instant::now(); let v = x.unwrap();",
+            &only_p1,
+        );
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, RuleId::PanicPolicy);
+    }
+
+    #[test]
+    fn findings_render_with_file_line_and_rule() {
+        let hits = unwaived("elsa-runtime", "let v = x.unwrap();");
+        let rendered = hits[0].render();
+        assert!(rendered.starts_with("test.rs:1:"), "{rendered}");
+        assert!(rendered.contains("[P1 panic-policy]"), "{rendered}");
+    }
+}

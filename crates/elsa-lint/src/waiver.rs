@@ -1,0 +1,112 @@
+//! Waiver comments: the only sanctioned way to silence a lint finding.
+//!
+//! Syntax, inside any line or block comment:
+//!
+//! ```text
+//! // elsa-lint: allow(panic-policy) reason="documented # Panics wrapper; try_new is the non-panicking form"
+//! ```
+//!
+//! The rule may be named by its id (`panic-policy`) or its code (`P1`).
+//! The `reason` is **mandatory and must be non-empty** — an auditable
+//! justification is the price of every exemption. A waiver covers findings
+//! of its rule on the same line and on the line directly below it (so it can
+//! sit either at the end of the offending line or on its own line above).
+//!
+//! A comment that contains the `elsa-lint:` marker but does not parse is
+//! itself reported as a [`RuleId::WaiverSyntax`] finding, which cannot be
+//! waived. Only plain `//` and `/* */` comments count: doc comments
+//! (`///`, `//!`, `/**`, `/*!`) are documentation and never register as
+//! directives, so syntax examples like the ones above stay inert.
+
+use crate::rules::RuleId;
+
+/// One parsed waiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// Workspace-relative path of the file the waiver sits in.
+    pub file: String,
+    /// 1-based line of the waiver comment.
+    pub line: u32,
+    /// The rule being waived.
+    pub rule: RuleId,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Whether the waiver suppressed at least one finding in this run.
+    pub used: bool,
+}
+
+/// The marker that makes a comment a waiver candidate.
+pub const MARKER: &str = "elsa-lint:";
+
+/// Parses the directive out of one comment's text, given that it contains
+/// [`MARKER`]. Returns the rule and reason, or a syntax-error message.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax problem:
+/// missing/unknown rule, missing `reason=`, unterminated or empty reason.
+pub fn parse_directive(comment: &str) -> Result<(RuleId, String), String> {
+    let after = match comment.split_once(MARKER) {
+        Some((_, rest)) => rest.trim_start(),
+        None => return Err("internal: comment lacks the elsa-lint: marker".into()),
+    };
+    let Some(rest) = after.strip_prefix("allow(") else {
+        return Err(format!("expected `allow(<rule>)` after `{MARKER}`"));
+    };
+    let Some((rule_name, rest)) = rest.split_once(')') else {
+        return Err("unterminated `allow(` — missing `)`".into());
+    };
+    let Some(rule) = RuleId::parse(rule_name.trim()) else {
+        return Err(format!("unknown rule `{}` in allow(...)", rule_name.trim()));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("reason=") else {
+        return Err("missing mandatory `reason=\"...\"`".into());
+    };
+    let Some(rest) = rest.strip_prefix('"') else {
+        return Err("reason must be a double-quoted string".into());
+    };
+    let Some((reason, _)) = rest.split_once('"') else {
+        return Err("unterminated reason string".into());
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return Err("reason must be non-empty: justify the exemption".into());
+    }
+    Ok((rule, reason.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_by_rule_id_and_code() {
+        let (rule, reason) =
+            parse_directive("// elsa-lint: allow(panic-policy) reason=\"wrapper\"").unwrap();
+        assert_eq!(rule, RuleId::PanicPolicy);
+        assert_eq!(reason, "wrapper");
+        let (rule, _) = parse_directive("// elsa-lint: allow(D1) reason=\"replay hook\"").unwrap();
+        assert_eq!(rule, RuleId::Nondeterminism);
+    }
+
+    #[test]
+    fn rejects_missing_or_empty_reason() {
+        assert!(parse_directive("// elsa-lint: allow(P1)").is_err());
+        assert!(parse_directive("// elsa-lint: allow(P1) reason=\"\"").is_err());
+        assert!(parse_directive("// elsa-lint: allow(P1) reason=\"   \"").is_err());
+        assert!(parse_directive("// elsa-lint: allow(P1) reason=unquoted").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_rule() {
+        let err = parse_directive("// elsa-lint: allow(no-such-rule) reason=\"x\"").unwrap_err();
+        assert!(err.contains("no-such-rule"));
+    }
+
+    #[test]
+    fn rejects_malformed_allow() {
+        assert!(parse_directive("// elsa-lint: disallow(P1) reason=\"x\"").is_err());
+        assert!(parse_directive("// elsa-lint: allow(P1 reason=\"x\"").is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for the lint lexer: totality over arbitrary input.
+//!
+//! The lexer is the foundation every rule stands on, and it runs over every
+//! source file in the workspace on every gate run — so it must be total:
+//! no byte sequence may panic it, token spans must tile forward, and line
+//! numbers must be monotonic and consistent with the newlines actually seen.
+
+use elsa_lint::lexer::{lex, TokenKind};
+use elsa_testkit::prelude::*;
+
+props! {
+    config: Config::with_cases(512);
+
+    fn lexing_arbitrary_bytes_never_panics(raw in vecs(ints(0, 256), 0, 300)) {
+        let bytes: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
+        let tokens = lex(&bytes);
+        // Spans are well-formed, in-bounds, and strictly ordered.
+        let mut prev_end = 0usize;
+        let mut prev_line = 1u32;
+        for t in &tokens {
+            prop_assert!(t.start < t.end, "empty span {t:?}");
+            prop_assert!(t.end <= bytes.len(), "span past EOF {t:?}");
+            prop_assert!(t.start >= prev_end, "overlapping tokens at {t:?}");
+            prop_assert!(t.line >= prev_line, "line went backwards at {t:?}");
+            prev_end = t.end;
+            prev_line = t.line;
+        }
+    }
+
+    fn lexing_ascii_soup_never_panics(raw in vecs(ints(0, 128), 0, 300)) {
+        // Dense in the delimiter space: quotes, hashes, slashes, backslashes
+        // appear constantly, hammering the literal/comment scanners.
+        let tricky = b"\"'#/\\*r b\n{}[]().:!";
+        let bytes: Vec<u8> = raw.iter().map(|&i| tricky[i % tricky.len()]).collect();
+        let tokens = lex(&bytes);
+        for t in &tokens {
+            prop_assert!(t.end <= bytes.len());
+        }
+    }
+
+    fn token_lines_match_newline_count(raw in vecs(ints(0, 256), 0, 200)) {
+        let bytes: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
+        let total_lines = 1 + bytes.iter().filter(|&&b| b == b'\n').count() as u32;
+        for t in lex(&bytes) {
+            prop_assert!(t.line >= 1 && t.line <= total_lines, "line {t:?} out of range");
+            // The recorded line equals 1 + newlines strictly before start.
+            let before = bytes[..t.start].iter().filter(|&&b| b == b'\n').count() as u32;
+            prop_assert_eq!(t.line, before + 1);
+        }
+    }
+
+    fn valid_rust_snippets_round_trip_structure(n in ints(0, 6)) {
+        // A rotating set of well-formed snippets must lex without Unknowns
+        // in places that would hide code from the rules.
+        let snippets: [&str; 6] = [
+            "fn main() { let x = 1; }",
+            "let s = \"str\"; let r = r#\"raw\"#; let c = 'c';",
+            "// line\n/* block /* nested */ */\ncode",
+            "#[cfg(test)]\nmod tests { fn t() {} }",
+            "impl<'a> Foo<'a> { fn f(&'a self) -> &'a str { self.s } }",
+            "let b = b\"bytes\"; let bc = b'\\n'; let br = br#\"raw bytes\"#;",
+        ];
+        let src = snippets[n % snippets.len()].as_bytes();
+        let tokens = lex(src);
+        prop_assert!(!tokens.is_empty());
+        prop_assert!(tokens.iter().all(|t| t.end <= src.len()));
+    }
+}
+
+#[test]
+fn comment_and_literal_kinds_partition_cleanly() {
+    let src = b"code // c1\n/* c2 */ \"s\" r#\"rs\"# 'c' 'life more";
+    let kinds: Vec<TokenKind> = lex(src).into_iter().map(|t| t.kind).collect();
+    assert!(kinds.contains(&TokenKind::LineComment));
+    assert!(kinds.contains(&TokenKind::BlockComment));
+    assert!(kinds.contains(&TokenKind::Str));
+    assert!(kinds.contains(&TokenKind::RawStr));
+    assert!(kinds.contains(&TokenKind::CharLit));
+    assert!(kinds.contains(&TokenKind::Lifetime));
+}

@@ -118,6 +118,7 @@ impl FaultTolerantServer {
     ) -> Self {
         match Self::try_new(accel_config, operator, plan, policy) {
             Ok(server) => server,
+            // elsa-lint: allow(panic-policy) reason="documented # Panics wrapper; try_new is the serving-path form"
             Err(e) => panic!("{e}"),
         }
     }
@@ -240,7 +241,7 @@ impl FaultTolerantServer {
                 let Some(unit) = health
                     .available_units()
                     .into_iter()
-                    .min_by(|&a, &b| free_at[a].partial_cmp(&free_at[b]).expect("finite times"))
+                    .min_by(|&a, &b| free_at[a].total_cmp(&free_at[b]))
                 else {
                     // Quarantine is probation, not death: if faults emptied
                     // the pool but survivors exist, put the quarantined

@@ -90,6 +90,7 @@ impl BatchScheduler {
     pub fn new(num_accelerators: usize, command_overhead_s: f64, policy: SchedulePolicy) -> Self {
         match Self::try_new(num_accelerators, command_overhead_s, policy) {
             Ok(scheduler) => scheduler,
+            // elsa-lint: allow(panic-policy) reason="documented # Panics wrapper; try_new is the serving-path form"
             Err(e) => panic!("{e}"),
         }
     }
@@ -131,6 +132,7 @@ impl BatchScheduler {
     #[must_use]
     pub fn schedule(&self, job_latencies_s: &[f64]) -> Schedule {
         self.schedule_over(job_latencies_s, &vec![true; self.num_accelerators])
+            // elsa-lint: allow(panic-policy) reason="infallible: construction guarantees num_accelerators > 0, so the all-true mask always has a survivor"
             .expect("all units available")
     }
 
@@ -170,19 +172,15 @@ impl BatchScheduler {
         match self.policy {
             SchedulePolicy::LongestFirst => {
                 let mut order: Vec<usize> = (0..job_latencies_s.len()).collect();
-                order.sort_by(|&a, &b| {
-                    job_latencies_s[b]
-                        .partial_cmp(&job_latencies_s[a])
-                        .expect("finite job latencies")
-                });
+                order.sort_by(|&a, &b| job_latencies_s[b].total_cmp(&job_latencies_s[a]));
                 for job in order {
+                    // `survivors` is nonempty (checked above), so the
+                    // fallback index is never actually taken.
                     let accel = survivors
                         .iter()
                         .copied()
-                        .min_by(|&a, &b| {
-                            per_accel[a].partial_cmp(&per_accel[b]).expect("finite loads")
-                        })
-                        .expect("at least one survivor");
+                        .min_by(|&a, &b| per_accel[a].total_cmp(&per_accel[b]))
+                        .unwrap_or(survivors[0]);
                     per_accel[accel] += job_latencies_s[job] + self.command_overhead_s;
                     assignment[job] = accel;
                 }

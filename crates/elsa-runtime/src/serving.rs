@@ -150,6 +150,7 @@ impl InferenceServer {
     pub fn new(accel_config: AcceleratorConfig, operator: ElsaAttention) -> Self {
         match Self::try_new(accel_config, operator) {
             Ok(server) => server,
+            // elsa-lint: allow(panic-policy) reason="documented # Panics wrapper; try_new is the serving-path form"
             Err(e) => panic!("{e}"),
         }
     }
@@ -199,6 +200,7 @@ impl InferenceServer {
     pub fn serve(&self, requests: &[AttentionInputs]) -> ServingReport {
         match self.try_serve(requests) {
             Ok(report) => report,
+            // elsa-lint: allow(panic-policy) reason="documented # Panics wrapper; try_serve is the serving-path form"
             Err(e) => panic!("{e}"),
         }
     }
@@ -232,12 +234,16 @@ impl InferenceServer {
         let mut free_at = vec![0.0f64; self.accel_config.num_accelerators];
         let mut records = Vec::with_capacity(requests.len());
         for (request, service) in requests.iter().zip(service_times) {
-            // FIFO: take the accelerator that frees up first.
-            let (idx, _) = free_at
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
-                .expect("at least one accelerator");
+            // FIFO: take the accelerator that frees up first. First minimum,
+            // so ties keep the lowest unit index; a plain scan avoids any
+            // panicking comparator (try_validate guarantees the pool is
+            // nonempty).
+            let mut idx = 0usize;
+            for (j, &t) in free_at.iter().enumerate() {
+                if t < free_at[idx] {
+                    idx = j;
+                }
+            }
             free_at[idx] += service;
             records.push(RequestRecord::served(request.num_keys(), service, free_at[idx]));
         }

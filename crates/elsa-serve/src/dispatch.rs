@@ -347,6 +347,7 @@ impl OnlineServer {
     ) -> Self {
         match Self::try_new(accel_config, operator, plan, config) {
             Ok(server) => server,
+            // elsa-lint: allow(panic-policy) reason="documented # Panics wrapper; try_new is the serving-path form"
             Err(e) => panic!("{e}"),
         }
     }
@@ -491,6 +492,7 @@ impl OnlineServer {
             .slots
             .into_iter()
             .enumerate()
+            // elsa-lint: allow(panic-policy) reason="exact-accounting invariant: every request is finished exactly once; a hole here is a bug the ServeReport must not paper over"
             .map(|(i, slot)| slot.unwrap_or_else(|| panic!("request {i} left unaccounted")))
             .collect();
         Ok(ServeReport { records, bucket_stats: engine.stats })
@@ -538,12 +540,14 @@ impl Engine<'_> {
                     return;
                 }
                 Backpressure::ShedOldest => {
+                    // elsa-lint: allow(panic-policy) reason="is_full() implies the queue is nonempty, so an oldest victim always exists"
                     let victim = self.queue.pop_oldest().expect("full queue is nonempty");
                     let now_s = self.clock.now_s();
                     let delay = now_s - ns_to_secs(victim.arrival_ns);
                     self.finish(victim, delay, 0.0, now_s, 0, Outcome::ShedQueueFull);
                 }
                 Backpressure::Block => {
+                    // elsa-lint: allow(panic-policy) reason="is_full() implies the queue is nonempty, so an oldest bucket always exists"
                     let bucket = self.queue.oldest_bucket().expect("full queue is nonempty");
                     self.dispatch_bucket(bucket);
                 }
@@ -617,7 +621,7 @@ impl Engine<'_> {
                     .available_units()
                     .into_iter()
                     .map(|u| self.free_at[u])
-                    .min_by(|a, b| a.partial_cmp(b).expect("finite times"));
+                    .min_by(f64::total_cmp);
                 if let Some(earliest) = earliest {
                     if earliest.max(now_s) + charged_service > ns_to_secs(deadline) {
                         self.finish(request, waited_s, 0.0, now_s, 0, Outcome::ShedUnmeetable);
@@ -632,7 +636,7 @@ impl Engine<'_> {
             // FIFO over survivors: the available unit that frees first
             // (first minimum, matching the offline servers).
             let Some(unit) = self.health.available_units().into_iter().min_by(|&a, &b| {
-                self.free_at[a].partial_cmp(&self.free_at[b]).expect("finite times")
+                self.free_at[a].total_cmp(&self.free_at[b])
             }) else {
                 // Quarantine is probation, not death: reinstate and retry
                 // (circuit-breaker half-open), unless the pool is truly

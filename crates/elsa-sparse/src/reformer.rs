@@ -111,9 +111,13 @@ impl LshAttention {
             } else {
                 (0..nq).map(|i| self.bucket(round, inputs.query().row(i))).collect()
             };
-            // Bucket all keys once, serially in key order.
-            let mut buckets: std::collections::HashMap<usize, Vec<usize>> =
-                std::collections::HashMap::new();
+            // Bucket all keys once, serially in key order. BTreeMap rather
+            // than HashMap: the map is only ever probed by key (never
+            // iterated), but the deterministic-crate policy (elsa-lint D2)
+            // bans hash-ordered containers outright so order can never leak
+            // into candidate sets through a future refactor.
+            let mut buckets: std::collections::BTreeMap<usize, Vec<usize>> =
+                std::collections::BTreeMap::new();
             for (j, &id) in key_ids.iter().enumerate() {
                 buckets.entry(id).or_default().push(j);
             }
@@ -275,6 +279,21 @@ mod tests {
         let dense = gpu.attention_kernel_time_s(n, 64);
         let sparse = lsh.wall_clock_model_s(n, 64, 0.05 * n as f64);
         assert!(sparse < dense, "n={n}: sparse {sparse} vs dense {dense}");
+    }
+
+    #[test]
+    fn candidate_sets_are_sorted_and_replay_identically() {
+        // Regression guard for the bucket-map container: candidate sets must
+        // be a pure function of the inputs with ascending key order — no
+        // trace of any map's iteration order may reach the output.
+        let mut rng = SeededRng::new(11);
+        let lsh = LshAttention::new(32, LshAttentionConfig::default(), &mut rng);
+        let inputs = clustered_inputs(96, 32, 12);
+        let (a, stats_a) = lsh.candidates(&inputs);
+        let (b, stats_b) = lsh.candidates(&inputs);
+        assert_eq!(a, b);
+        assert_eq!(stats_a, stats_b);
+        assert!(a.iter().all(|set| set.windows(2).all(|w| w[0] < w[1])), "unsorted candidates");
     }
 
     #[test]

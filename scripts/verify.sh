@@ -6,9 +6,13 @@
 #    to four — so the deterministic-parallelism contract (bit-identical
 #    results at any worker count; see crates/elsa-parallel) is exercised on
 #    every gate run, plus bench smoke runs
-# 3. dependency guard: every [dependencies]/[dev-dependencies] entry in every
+# 3. static analysis: `elsa-lint` (in-tree, zero-dependency) scans every .rs
+#    file and Cargo.toml and enforces the determinism, panic-policy, and
+#    unsafe-hygiene contracts; any unwaived finding fails the gate.
+# 4. dependency guard: every [dependencies]/[dev-dependencies] entry in every
 #    Cargo.toml must be an in-tree path dependency (directly or via
-#    workspace = true); anything resolving to crates.io fails the gate.
+#    workspace = true); anything resolving to crates.io fails the gate. This
+#    is elsa-lint's O1 rule — no external interpreter required.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,64 +45,18 @@ ELSA_TESTKIT_SEED=0xE15AFA17 ELSA_THREADS=4 cargo test -q --offline --test onlin
 echo "==> bench smoke runs (each benchmark body once)"
 cargo test -q --offline --workspace --benches
 
+echo "==> static analysis (elsa-lint)"
+# All rules: nondeterminism (D1), hash-collections (D2), threads-env (D3),
+# panic-policy (P1), offline-deps (O1), unsafe-safety (U1), waiver-syntax (W0).
+# Exits nonzero on any unwaived finding; `--list-waivers` shows the audit view.
+cargo run -q --offline -p elsa-lint
+
 echo "==> dependency guard: no external (non-path) dependencies"
-# The cargo metadata view is authoritative: any package in the resolved graph
-# with a non-null `source` came from a registry, not from this tree.
-external=$(cargo metadata --format-version 1 --offline --no-deps 2>/dev/null \
-  | python3 -c '
-import json, sys
-meta = json.load(sys.stdin)
-bad = set()
-for pkg in meta["packages"]:
-    for dep in pkg["dependencies"]:
-        if dep["path"] is None:
-            bad.add(pkg["name"] + " -> " + dep["name"])
-print("\n".join(sorted(bad)))
-')
-if [ -n "$external" ]; then
-  echo "FAIL: external dependencies declared:" >&2
-  echo "$external" >&2
-  exit 1
-fi
-
-# Belt and braces: parse every manifest and flag any dependency entry that is
-# neither an in-tree `path` dependency nor a `workspace = true` inheritance of
-# one (workspace-level entries are themselves checked for `path`). This
+# elsa-lint's O1 rule parses every Cargo.toml directly: each dependency entry
+# must be an in-tree `path` dependency or a `workspace = true` inheritance of
+# one (the workspace-level table is itself checked). It also pins a set of
+# known manifests so a layout change cannot silently drop the scan. This
 # catches a registry dep even when a populated local cache lets it build.
-manifest_hits=$(python3 - <<'PY'
-import glob
-import tomllib
+cargo run -q --offline -p elsa-lint -- --rule offline-deps
 
-DEP_TABLES = ("dependencies", "dev-dependencies", "build-dependencies")
-
-def local(entry):
-    return isinstance(entry, dict) and ("path" in entry or entry.get("workspace") is True)
-
-manifests = ["Cargo.toml", *sorted(glob.glob("crates/*/Cargo.toml"))]
-# The glob must keep covering every crate; pin one known manifest per guard
-# review so a layout change cannot silently drop the scan.
-assert "crates/elsa-parallel/Cargo.toml" in manifests, \
-    "dep guard no longer sees crates/elsa-parallel/Cargo.toml"
-assert "crates/elsa-fault/Cargo.toml" in manifests, \
-    "dep guard no longer sees crates/elsa-fault/Cargo.toml"
-assert "crates/elsa-serve/Cargo.toml" in manifests, \
-    "dep guard no longer sees crates/elsa-serve/Cargo.toml"
-
-for manifest in manifests:
-    with open(manifest, "rb") as f:
-        doc = tomllib.load(f)
-    tables = [(t, doc.get(t, {})) for t in DEP_TABLES]
-    tables.append(("workspace.dependencies", doc.get("workspace", {}).get("dependencies", {})))
-    for table, deps in tables:
-        for name, entry in deps.items():
-            if not local(entry):
-                print(manifest + ": [" + table + "] " + name)
-PY
-)
-if [ -n "$manifest_hits" ]; then
-  echo "FAIL: non-path dependency declarations found:" >&2
-  echo "$manifest_hits" >&2
-  exit 1
-fi
-
-echo "OK: tier-1 green, workspace green, zero external dependencies"
+echo "OK: tier-1 green, workspace green, lint clean, zero external dependencies"

@@ -1,0 +1,56 @@
+//! The whole workspace must pass `elsa-lint` with zero unwaived findings.
+//!
+//! This is the same check `scripts/verify.sh` runs via
+//! `cargo run -p elsa-lint`, wired into `cargo test` so a violation of the
+//! determinism / offline / panic-policy contracts fails the ordinary test
+//! gate too — not just the shell script.
+
+use std::path::Path;
+
+use elsa_lint::rules::RuleSet;
+
+#[test]
+fn workspace_has_no_unwaived_lint_findings() {
+    // CARGO_MANIFEST_DIR for this integration test is the workspace root
+    // (the facade crate lives at the root), so no upward search is needed.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = elsa_lint::check_workspace(root, &RuleSet::all())
+        .unwrap_or_else(|e| panic!("elsa-lint failed to scan the workspace: {e}"));
+
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few Rust files scanned ({}); the walker is likely broken",
+        report.files_scanned
+    );
+    assert!(
+        report.manifests_scanned >= 10,
+        "suspiciously few manifests scanned ({}); the walker is likely broken",
+        report.manifests_scanned
+    );
+
+    let gating: Vec<String> = report.unwaived().iter().map(|f| f.render()).collect();
+    assert!(
+        gating.is_empty(),
+        "unwaived lint findings:\n{}",
+        gating.join("\n")
+    );
+}
+
+#[test]
+fn every_active_waiver_is_used() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = elsa_lint::check_workspace(root, &RuleSet::all())
+        .unwrap_or_else(|e| panic!("elsa-lint failed to scan the workspace: {e}"));
+
+    let stale: Vec<String> = report
+        .waivers
+        .iter()
+        .filter(|w| !w.used)
+        .map(|w| format!("{}:{}: allow({}) — no matching finding", w.file, w.line, w.rule.code()))
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "stale waivers (remove them, they no longer suppress anything):\n{}",
+        stale.join("\n")
+    );
+}
