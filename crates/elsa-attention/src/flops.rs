@@ -158,6 +158,126 @@ pub fn exact_attention_ops(n: usize, d: usize) -> u64 {
     2 * n * n * d + n * n
 }
 
+/// FLOP/byte accounting for the tiled online-softmax (FlashAttention-class)
+/// streaming baseline — the hardware competitor modeled by
+/// `elsa-baselines::FlashModel` and implemented functionally by
+/// [`crate::flash`].
+///
+/// Unlike the software kernel (which defers renormalization to stay
+/// bit-identical to the naive reference), the *hardware* design point is the
+/// true single-pass recurrence, so this count deliberately charges:
+///
+/// * **Renormalization multiplies** — whenever a later tile raises the
+///   running maximum, the running sum (1 multiply) and the `d_v`-wide output
+///   accumulator (`d_v` multiplies) are rescaled by `exp(m_old − m_new)`.
+///   The worst case — charged here so the competitor can never be
+///   undercounted — is a rescale after *every* tile past the first:
+///   `n_q · (⌈n/tile⌉ − 1) · (d_v + 2)` FLOPs (the `+2` is the rescale
+///   factor's own exponential and the sum update).
+/// * **Tile-reload bytes** — for self-attention the K/V stream does not fit
+///   on chip, so each of the `⌈n_q/q_tile⌉` query-tile passes re-reads all
+///   `n · (d + d_v)` K/V elements from HBM. Only the first pass is compulsory
+///   traffic; the rest is tiling overhead, reported separately in
+///   [`tile_reload_bytes`](Self::tile_reload_bytes).
+///
+/// # Examples
+///
+/// ```
+/// use elsa_attention::flops::{exact_attention_ops, FlashAttentionOps};
+///
+/// let ops = FlashAttentionOps::count(512, 512, 64, 64, 64);
+/// // Compute matches the exact kernel to leading order...
+/// assert!(ops.total_flops() >= exact_attention_ops(512, 64));
+/// // ...and renormalization is charged on top, never hidden.
+/// assert!(ops.renorm_flops > 0);
+/// // Workspace is O(n·d)-class, not the naive O(n²) score matrix.
+/// assert!(ops.workspace_bytes < 512 * 512 * 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashAttentionOps {
+    /// `QKᵀ` scores: `2 · n_q · n · d` FLOPs (f64-accumulated MACs).
+    pub score_flops: u64,
+    /// Exponentials: one per (query, key) pair, `n_q · n` ops.
+    pub exp_ops: u64,
+    /// Worst-case online-renormalization cost:
+    /// `n_q · (⌈n/tile⌉ − 1) · (d_v + 2)` FLOPs (accumulator + sum rescale
+    /// plus the correction factor's exponential, once per tile boundary).
+    pub renorm_flops: u64,
+    /// Weighted value sum `S′V`: `2 · n_q · n · d_v` FLOPs.
+    pub weighted_sum_flops: u64,
+    /// Final division (hidden inside the recurrence by FLASH-D, but charged
+    /// here): `n_q · (d_v + 1)` FLOPs.
+    pub division_flops: u64,
+    /// Compulsory HBM traffic: read Q/K/V once, write the output once
+    /// (`f32` elements).
+    pub hbm_bytes: u64,
+    /// Extra K/V re-read traffic from the `⌈n_q/q_tile⌉ − 1` repeat passes
+    /// of a fixed-size on-chip query tile.
+    pub tile_reload_bytes: u64,
+    /// Peak on-chip workspace: one query tile plus running statistics and
+    /// the `d_v`-wide accumulators — `O(tile · d)`, independent of `n`.
+    pub workspace_bytes: u64,
+}
+
+impl FlashAttentionOps {
+    /// Counts operations for `n_q` queries over `n` keys of dimension `d`
+    /// with value width `d_v`, streaming key tiles of `tile` rows (clamped
+    /// to `[1, n]`; the same tile is used for the query dimension).
+    #[must_use]
+    pub fn count(n_q: usize, n: usize, d: usize, d_v: usize, tile: usize) -> Self {
+        let tile = tile.clamp(1, n.max(1));
+        let (n_q64, n64, d64, dv64) = (n_q as u64, n as u64, d as u64, d_v as u64);
+        let key_tiles = (n as u64).div_ceil(tile as u64);
+        let query_passes = (n_q as u64).div_ceil(tile as u64);
+        let kv_bytes = n64 * (d64 + dv64) * 4;
+        Self {
+            score_flops: 2 * n_q64 * n64 * d64,
+            exp_ops: n_q64 * n64,
+            renorm_flops: n_q64 * key_tiles.saturating_sub(1) * (dv64 + 2),
+            weighted_sum_flops: 2 * n_q64 * n64 * dv64,
+            division_flops: n_q64 * (dv64 + 1),
+            hbm_bytes: n_q64 * d64 * 4 + kv_bytes + n_q64 * dv64 * 4,
+            tile_reload_bytes: query_passes.saturating_sub(1) * kv_bytes,
+            workspace_bytes: tile as u64 * (d64 + dv64 + 2) * 4 + dv64 * 4,
+        }
+    }
+
+    /// Total FLOPs (exponentials counted as 1 op, per the crate convention).
+    #[must_use]
+    pub fn total_flops(&self) -> u64 {
+        self.score_flops
+            + self.exp_ops
+            + self.renorm_flops
+            + self.weighted_sum_flops
+            + self.division_flops
+    }
+
+    /// Total off-chip traffic: compulsory bytes plus tile reloads.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.hbm_bytes + self.tile_reload_bytes
+    }
+
+    /// Arithmetic intensity in FLOPs per off-chip byte.
+    #[must_use]
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.total_flops() as f64 / self.total_bytes() as f64
+    }
+}
+
+/// Off-chip traffic of the *naive* exact kernel for the same problem: on top
+/// of the compulsory Q/K/V/output transfers it spills and re-reads the
+/// `n_q × n` `f32` score matrix twice (once after `QKᵀ`, once after softmax)
+/// when it exceeds on-chip capacity — the memory term the streaming kernel
+/// exists to delete.
+#[must_use]
+pub fn naive_attention_bytes(n_q: usize, n: usize, d: usize, d_v: usize) -> u64 {
+    let (n_q64, n64, d64, dv64) = (n_q as u64, n as u64, d as u64, d_v as u64);
+    let io = n_q64 * d64 * 4 + n64 * (d64 + dv64) * 4 + n_q64 * dv64 * 4;
+    let score_matrix = n_q64 * n64 * 4;
+    io + 4 * score_matrix
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,5 +350,58 @@ mod tests {
     #[test]
     fn exact_ops_formula() {
         assert_eq!(exact_attention_ops(128, 64), 2 * 128 * 128 * 64 + 128 * 128);
+    }
+
+    #[test]
+    fn flash_ops_formulas() {
+        let ops = FlashAttentionOps::count(512, 512, 64, 64, 64);
+        assert_eq!(ops.score_flops, 2 * 512 * 512 * 64);
+        assert_eq!(ops.exp_ops, 512 * 512);
+        // 8 key tiles => 7 rescale boundaries of (64 + 2) FLOPs per query.
+        assert_eq!(ops.renorm_flops, 512 * 7 * 66);
+        assert_eq!(ops.weighted_sum_flops, 2 * 512 * 512 * 64);
+        assert_eq!(ops.division_flops, 512 * 65);
+        // 8 query passes => 7 full K/V reloads.
+        assert_eq!(ops.tile_reload_bytes, 7 * 512 * 128 * 4);
+    }
+
+    #[test]
+    fn flash_charges_at_least_exact_compute() {
+        // The streaming baseline can never be undercounted relative to the
+        // naive kernel: same score/sum MACs, renormalization on top.
+        for (n, d, tile) in [(128, 64, 8), (512, 64, 64), (200, 64, 64), (33, 16, 8)] {
+            let flash = FlashAttentionOps::count(n, n, d, d, tile);
+            assert!(
+                flash.total_flops() > exact_attention_ops(n, d),
+                "n={n} tile={tile}"
+            );
+        }
+    }
+
+    #[test]
+    fn flash_single_tile_has_no_renorm_or_reload() {
+        // When everything fits in one tile the recurrence never rescales and
+        // K/V stream exactly once.
+        let ops = FlashAttentionOps::count(128, 128, 64, 64, 128);
+        assert_eq!(ops.renorm_flops, 0);
+        assert_eq!(ops.tile_reload_bytes, 0);
+    }
+
+    #[test]
+    fn flash_workspace_independent_of_n() {
+        let small = FlashAttentionOps::count(128, 128, 64, 64, 64);
+        let large = FlashAttentionOps::count(4096, 4096, 64, 64, 64);
+        assert_eq!(small.workspace_bytes, large.workspace_bytes);
+        // The naive kernel's traffic includes the O(n²) score-matrix spill.
+        assert!(naive_attention_bytes(4096, 4096, 64, 64) > large.total_bytes());
+    }
+
+    #[test]
+    fn smaller_tiles_cost_more_renorm_and_reload() {
+        let coarse = FlashAttentionOps::count(512, 512, 64, 64, 128);
+        let fine = FlashAttentionOps::count(512, 512, 64, 64, 8);
+        assert!(fine.renorm_flops > coarse.renorm_flops);
+        assert!(fine.tile_reload_bytes > coarse.tile_reload_bytes);
+        assert!(fine.workspace_bytes < coarse.workspace_bytes);
     }
 }

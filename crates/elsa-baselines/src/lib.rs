@@ -2,7 +2,10 @@
 //!
 //! The paper compares ELSA against an NVIDIA V100 GPU, an *ideal* dense
 //! accelerator (100%-utilized multipliers, no approximation), the A³
-//! attention accelerator (HPCA 2020), and Google's TPUv2. None of that
+//! attention accelerator (HPCA 2020), and Google's TPUv2. This crate adds a
+//! post-publication competitor the 2021 baseline set lacks: a
+//! FlashAttention-class streaming accelerator ([`FlashModel`]) with fused
+//! exp·mult units and tiled online softmax, held iso-compute with ELSA. None of that
 //! hardware is available here, so each device is an **analytic cost model**:
 //! peak throughput × kernel-level efficiency, with memory-bandwidth and
 //! kernel-launch terms where they matter. Efficiency constants are fit once,
@@ -18,11 +21,13 @@
 #![deny(missing_debug_implementations)]
 
 pub mod a3;
+pub mod flash;
 pub mod gpu;
 pub mod ideal;
 pub mod tpu;
 
 pub use a3::A3Model;
+pub use flash::FlashModel;
 pub use gpu::GpuModel;
 pub use ideal::IdealAccelerator;
 pub use tpu::TpuModel;
@@ -60,6 +65,7 @@ mod tests {
             Box::new(GpuModel::v100()),
             Box::new(IdealAccelerator::paper()),
             Box::new(TpuModel::v2()),
+            Box::new(FlashModel::paper()),
         ];
         for d in &devices {
             let t = d.attention_latency_s(512, 512, 64);

@@ -1,0 +1,111 @@
+//! Property tests guarding the streaming-baseline functional units: the
+//! fused exponential-multiply and the H-FA log-domain adder must stay inside
+//! their documented analytical error bounds against an `f64` reference
+//! across their whole input domains.
+//!
+//! These mirror `lut_properties.rs`: the `FlashModel` competitor's energy
+//! and accuracy story both assume these bounds, so a silent regression here
+//! invalidates the §VII baseline comparison the same way a LUT regression
+//! invalidates ELSA's own accuracy figures.
+
+use elsa_numeric::{CustomFloat, ExpMultUnit, ExpUnit, LogDomainAdder};
+use elsa_testkit::prelude::*;
+use elsa_testkit::TestRng;
+
+props! {
+    config: Config::with_cases(256);
+
+    // ---- fused exponential-multiply unit ----
+
+    fn exp_mult_relative_error_bounded(x in range(-60.0, 60.0), mag in range(-6.0, 6.0), neg in bools()) {
+        // Streaming softmax multiplies e^{s-m} (s-m <= 0) by value elements
+        // of either sign; cover raw-logit positives too.
+        let y = if neg { -1.0 } else { 1.0 } * 10f64.powf(mag);
+        let unit = ExpMultUnit::new();
+        let approx = unit.exp_mult(x, y).to_f64();
+        let exact = x.exp() * y;
+        let rel = ((approx - exact) / exact).abs();
+        prop_assert!(
+            rel <= ExpMultUnit::worst_case_relative_error() + 1e-9,
+            "exp_mult({x}, {y}): rel err {rel} > bound {}",
+            ExpMultUnit::worst_case_relative_error()
+        );
+    }
+
+    fn exp_mult_beats_unfused_two_rounding_bound(x in range(-30.0, 30.0), mag in range(-3.0, 3.0)) {
+        // The whole point of fusion: one output rounding, not two. The fused
+        // result must always sit within the *unfused* pipeline's wider bound
+        // as well (sanity: fusing cannot make the error larger).
+        let y = 10f64.powf(mag);
+        let fused = ExpMultUnit::new().exp_mult(x, y).to_f64();
+        let exact = x.exp() * y;
+        let rel = ((fused - exact) / exact).abs();
+        let unfused_bound = ExpUnit::worst_case_relative_error() + 2.0 * CustomFloat::epsilon();
+        prop_assert!(rel <= unfused_bound + 1e-9, "exp_mult({x}, {y}): {rel}");
+    }
+
+    fn exp_mult_sign_follows_y(x in range(-20.0, 20.0), mag in range(-3.0, 3.0), neg in bools()) {
+        let y = if neg { -1.0 } else { 1.0 } * 10f64.powf(mag);
+        let unit = ExpMultUnit::new();
+        let out = unit.exp_mult(x, y).to_f64();
+        prop_assert_eq!(out.is_sign_negative(), y.is_sign_negative(), "exp_mult({}, {}) = {}", x, y, out);
+    }
+
+    // ---- log-domain adder ----
+
+    fn log_add_absolute_error_bounded(a in range(-40.0, 40.0), b in range(-40.0, 40.0)) {
+        let unit = LogDomainAdder::new();
+        let got = unit.add(a, b);
+        let exact = (f64::powf(2.0, a) + f64::powf(2.0, b)).log2();
+        let err = (got - exact).abs();
+        prop_assert!(
+            err <= LogDomainAdder::worst_case_log2_error() + 1e-9,
+            "add({a}, {b}): log2 err {err} > bound {}",
+            LogDomainAdder::worst_case_log2_error()
+        );
+    }
+
+    fn log_add_is_commutative_and_dominated_by_max(a in range(-50.0, 50.0), b in range(-50.0, 50.0)) {
+        let unit = LogDomainAdder::new();
+        let ab = unit.add(a, b);
+        prop_assert_eq!(ab.to_bits(), unit.add(b, a).to_bits());
+        // 2^a + 2^b lies in [max, 2*max]: the result is within [max, max+1].
+        let m = a.max(b);
+        prop_assert!(ab >= m && ab <= m + 1.0 + 1e-12, "add({a}, {b}) = {ab}");
+    }
+
+    fn log_sum_error_scales_linearly_with_length(n in ints(1, 64), seed in ints_u64(1, 1 << 32)) {
+        // A streaming softmax denominator: n log-domain scores in [-20, 0],
+        // folded in key order exactly as the H-FA accumulator would.
+        let mut rng = TestRng::new(seed);
+        let values: Vec<f64> = (0..n).map(|_| rng.uniform() * -20.0).collect();
+        let unit = LogDomainAdder::new();
+        let got = unit.sum(&values);
+        let exact = values.iter().map(|&v| f64::powf(2.0, v)).sum::<f64>().log2();
+        let bound = n as f64 * LogDomainAdder::worst_case_log2_error() + 1e-9;
+        prop_assert!((got - exact).abs() <= bound, "sum of {n}: err {}", (got - exact).abs());
+    }
+
+    fn log_add_treats_neg_infinity_as_exact_zero(a in range(-100.0, 100.0)) {
+        let unit = LogDomainAdder::new();
+        prop_assert_eq!(unit.add(a, f64::NEG_INFINITY).to_bits(), a.to_bits());
+        prop_assert_eq!(unit.add(f64::NEG_INFINITY, a).to_bits(), a.to_bits());
+    }
+}
+
+#[test]
+fn fused_bounds_are_tight_enough_to_matter() {
+    // The fused unit inherits the exponent LUT's ~1.1% segment error plus
+    // exactly one format epsilon; the documented bound must not drift.
+    assert!(ExpMultUnit::worst_case_relative_error() < 0.03);
+    assert!(
+        ExpMultUnit::worst_case_relative_error()
+            < ExpUnit::worst_case_relative_error() + CustomFloat::epsilon()
+    );
+    // One log-domain add is good to ~2.2% linear; a 512-key softmax
+    // denominator stays under ~10^5 relative only because errors partially
+    // cancel — the *bound* is what we document, and it must stay put.
+    assert!(LogDomainAdder::worst_case_log2_error() < 0.032);
+    assert!(LogDomainAdder::worst_case_relative_error(1) < 0.023);
+    assert!(LogDomainAdder::worst_case_relative_error(2) > LogDomainAdder::worst_case_relative_error(1));
+}

@@ -21,7 +21,11 @@
 //!   wiped candidate set) is *detected by a guard on the result itself*,
 //!   not by peeking at the plan, and the request is re-served with the
 //!   approximation disabled (exact attention, the accelerator's base
-//!   mode) and tagged `degraded`.
+//!   mode) and tagged `degraded`. The re-serve goes through the *tiled
+//!   streaming* exact kernel (`elsa_attention::flash`): bit-identical to
+//!   the naive base run, but O(n) transient memory instead of the O(n²)
+//!   score matrix — the memory-light fallback an already-faulting unit
+//!   should get.
 //!
 //! Every fault decision is a pure function of `(seed, unit, request,
 //! attempt)`, so a batch replays bit-for-bit at any `ELSA_THREADS`, and a
@@ -283,7 +287,12 @@ impl FaultTolerantServer {
                 // poisoned result never passes (enforced by
                 // `elsa_fault::inject` tests and the chaos battery).
                 if run.trips || self.plan.corruption(unit, i).is_some() {
-                    let base = accel.run_base(request);
+                    // Degrade through the tiled streaming kernel: bit-identical
+                    // to `run_base` (proven in `elsa-sim` and the flash
+                    // equivalence battery) but O(n) transient memory instead of
+                    // the O(n²) score matrix — a faulting accelerator should
+                    // not be handed the memory-heaviest possible fallback.
+                    let base = accel.run_base_streaming(request);
                     let service_s =
                         (run.service_s + base.cycles.seconds(&self.accel_config)) * slowdown;
                     break Outcome::Served {

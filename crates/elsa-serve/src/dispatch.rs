@@ -670,7 +670,9 @@ impl Engine<'_> {
             let (service_s, degraded) = if self.prepared[request.id].trips
                 || self.plan.corruption(unit, request.id).is_some()
             {
-                let base = self.accel.run_base(&self.prepared[request.id].inputs);
+                // Streaming exact fallback: bit-identical to `run_base` with
+                // O(n) transient memory (see `elsa_attention::flash`).
+                let base = self.accel.run_base_streaming(&self.prepared[request.id].inputs);
                 ((charged_service + base.cycles.seconds(self.accel_config)) * slowdown, true)
             } else {
                 (charged_service * slowdown, false)

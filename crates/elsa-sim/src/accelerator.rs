@@ -159,6 +159,41 @@ impl ElsaAccelerator {
         self.report(inputs, output, stats, &candidates)
     }
 
+    /// Runs one invocation with the approximation disabled, through the
+    /// tiled streaming (FlashAttention-class) kernel — the memory-light
+    /// exact fallback the serving stack degrades to.
+    ///
+    /// The report is **bit-identical** to [`run_base`](Self::run_base) in
+    /// every field: the streaming kernel replays the naive kernel's exact
+    /// arithmetic schedule (see `elsa_attention::flash`), and the base cycle
+    /// model scales one full-candidate query instead of materializing
+    /// `num_queries` candidate lists. Peak transient memory drops from the
+    /// `O(n²)` score matrix + candidate lists to `O(n)` per active query
+    /// row — which is the point of degrading to it under memory-pressure
+    /// faults.
+    #[must_use]
+    pub fn run_base_streaming(&self, inputs: &AttentionInputs) -> RunReport {
+        self.check_fit(inputs);
+        let n = inputs.num_keys();
+        let stats = SelectionStats {
+            total_pairs: inputs.num_queries() * n,
+            selected_pairs: inputs.num_queries() * n,
+            num_queries: inputs.num_queries(),
+            num_keys: n,
+            fallback_queries: 0,
+        };
+        let output = elsa_attention::flash::flash_attention_default(inputs, 1.0);
+        let cycles = cycle::simulate_execution_base(&self.config, n, inputs.num_queries());
+        let energy = EnergyBreakdown::from_run(
+            &self.config,
+            &cycles,
+            inputs.num_queries(),
+            stats.selected_pairs,
+            n,
+        );
+        RunReport { output, stats, cycles, energy }
+    }
+
     /// Runs one invocation through the bit-level quantized datapath
     /// (§IV-E number formats) — slower, used for accuracy validation.
     #[must_use]
@@ -273,6 +308,27 @@ mod tests {
         let base = accel.run_base(&test);
         let exact = elsa_attention::exact::attention(&test);
         assert!(base.output.max_abs_diff(&exact) < 1e-5);
+    }
+
+    #[test]
+    fn streaming_base_is_bit_identical_to_base() {
+        // Output, stats, cycles and energy must all agree exactly: the
+        // failover path's degraded outputs are compared bitwise against
+        // run_base in the fault-tolerance battery.
+        let train = peaked_inputs(64, 64, 30);
+        let accel = accelerator(&train, 1.0, 31);
+        for (n, seed) in [(64, 32), (37, 33), (128, 34)] {
+            let test = peaked_inputs(n, 64, seed);
+            let base = accel.run_base(&test);
+            let streaming = accel.run_base_streaming(&test);
+            let base_bits: Vec<u32> = base.output.as_slice().iter().map(|v| v.to_bits()).collect();
+            let stream_bits: Vec<u32> =
+                streaming.output.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(base_bits, stream_bits, "n={n}");
+            assert_eq!(base.stats, streaming.stats);
+            assert_eq!(base.cycles, streaming.cycles);
+            assert_eq!(base.energy.total_j().to_bits(), streaming.energy.total_j().to_bits());
+        }
     }
 
     #[test]

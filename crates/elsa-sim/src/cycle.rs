@@ -162,11 +162,27 @@ pub fn simulate_execution(
 
 /// Cycles for the same invocation on the *base* (no approximation)
 /// accelerator: every key is a candidate for every query.
+///
+/// Every full-candidate query has the identical initiation interval, so one
+/// query is simulated and scaled — `O(n)` time and memory instead of the
+/// `O(n · num_queries)` candidate materialization, which is what lets the
+/// serving stack's streaming exact fallback
+/// (`ElsaAccelerator::run_base_streaming`) cost a report without ever
+/// building the score-matrix-shaped candidate lists.
+/// (`base_scales_one_query_exactly` pins the equivalence to the
+/// materialized form.)
 #[must_use]
 pub fn simulate_execution_base(config: &AcceleratorConfig, n: usize, num_queries: usize) -> CycleReport {
     let all: Vec<usize> = (0..n).collect();
-    let candidates = vec![all; num_queries];
-    simulate_execution(config, n, &candidates, false)
+    let one = simulate_execution(config, n, std::slice::from_ref(&all), false);
+    let q = num_queries as u64;
+    CycleReport {
+        preprocessing: one.preprocessing,
+        execution: one.execution * q,
+        drain: one.drain,
+        per_query: Vec::new(),
+        bottleneck_counts: one.bottleneck_counts.map(|c| c * q),
+    }
 }
 
 #[cfg(test)]
@@ -269,6 +285,18 @@ mod tests {
         let n = 512;
         let report = simulate_execution_base(&cfg, n, n);
         assert!(report.preprocessing_fraction() < 0.05);
+    }
+
+    #[test]
+    fn base_scales_one_query_exactly() {
+        // The O(n) base model must agree bit-for-bit with materializing the
+        // full candidate lists, including bottleneck attribution.
+        let cfg = paper();
+        for (n, q) in [(512, 512), (510, 7), (33, 1), (200, 0), (1, 5)] {
+            let all: Vec<usize> = (0..n).collect();
+            let materialized = simulate_execution(&cfg, n, &vec![all; q], false);
+            assert_eq!(simulate_execution_base(&cfg, n, q), materialized, "n={n} q={q}");
+        }
     }
 
     #[test]

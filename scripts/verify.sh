@@ -42,6 +42,20 @@ echo "==> online serving battery (fixed seed, ELSA_THREADS=1 and 4)"
 ELSA_TESTKIT_SEED=0xE15AFA17 ELSA_THREADS=1 cargo test -q --offline --test online_serving
 ELSA_TESTKIT_SEED=0xE15AFA17 ELSA_THREADS=4 cargo test -q --offline --test online_serving
 
+echo "==> flash equivalence battery (fixed seed, ELSA_THREADS=1 and 4)"
+# The tiled streaming kernel promises bitwise equality with naive exact
+# attention across all tile sizes and worker counts (a 0-ulp bound); run the
+# battery under a pinned seed at both thread counts so a failure reproduces.
+ELSA_TESTKIT_SEED=0xE15AFA17 ELSA_THREADS=1 cargo test -q --offline --test flash_equivalence
+ELSA_TESTKIT_SEED=0xE15AFA17 ELSA_THREADS=4 cargo test -q --offline --test flash_equivalence
+
+echo "==> flash accounting regression (bench_flash vs committed BENCH_flash.json)"
+# bench_flash reads no wall clock: every value is an analytic FLOP/byte
+# count or a deterministic model cycle count from pinned seeds, so the
+# output must reproduce the committed file byte-for-byte on any host.
+cargo run -q --release --offline -p elsa-bench --bin bench_flash | diff - BENCH_flash.json \
+  || { echo "FAIL: bench_flash output diverged from committed BENCH_flash.json"; exit 1; }
+
 echo "==> bench smoke runs (each benchmark body once)"
 cargo test -q --offline --workspace --benches
 

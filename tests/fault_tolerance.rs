@@ -204,6 +204,46 @@ props! {
         }
     }
 
+    // Regression for the streaming-fallback rewiring: forced corruption
+    // (rate 1.0) degrades every request, and the degraded outputs — now
+    // produced by the tiled streaming kernel — are bit-identical to the
+    // naive `run_base` outputs they replaced, at any worker count.
+    fn forced_corruption_streaming_fallback_matches_run_base_bitwise(
+        count in ints(4, 10),
+        batch_seed in ints_u64(1, 1 << 32),
+        plan_seed in ints_u64(1, 1 << 32),
+        widx in ints(0, 4),
+    ) {
+        let rates = FaultRates { corrupt: 1.0, ..FaultRates::none() };
+        let plan = FaultPlan::seeded(plan_seed, rates);
+        let batch = requests(count, batch_seed);
+        let server = FaultTolerantServer::new(
+            config(),
+            operator().clone(),
+            plan,
+            FailoverPolicy::default(),
+        );
+        let served = with_threads(WORKER_COUNTS[widx], || server.serve(&batch))
+            .expect("corruption is survivable");
+        prop_assert_eq!(served.report.degraded_count(), batch.len());
+        let accel = ElsaAccelerator::new(config(), operator().clone());
+        for (request, output) in batch.iter().zip(&served.outputs) {
+            let output = output.as_ref().expect("degraded, never failed");
+            let base = accel.run_base(request);
+            let streaming = accel.run_base_streaming(request);
+            // The served output IS the streaming kernel's, and the streaming
+            // kernel IS the naive base run, bit for bit — including the
+            // cycle/energy accounting the service time was charged from.
+            prop_assert_eq!(matrix_bits(output), matrix_bits(&streaming.output));
+            prop_assert_eq!(matrix_bits(output), matrix_bits(&base.output));
+            prop_assert_eq!(&streaming.cycles, &base.cycles);
+            prop_assert_eq!(
+                streaming.energy.total_j().to_bits(),
+                base.energy.total_j().to_bits()
+            );
+        }
+    }
+
     // Full chaos: every fault class at once; the report accounts for 100%
     // of requests and replays identically at any worker count.
     fn chaotic_plans_account_for_every_request_and_replay(

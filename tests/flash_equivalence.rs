@@ -1,0 +1,197 @@
+//! Equivalence battery gating the tiled online-softmax exact kernel
+//! (`elsa::attention::flash`). Three contracts, all **bitwise** — the
+//! kernel's documented ulp bound against the naive reference is exactly 0,
+//! so every comparison here is `to_bits` equality, never an epsilon:
+//!
+//! * **Tile invariance** — the output is bit-identical across all tile
+//!   sizes, including 1, sizes that do not divide `n`, `n` itself, and
+//!   tiles larger than `n`.
+//! * **Thread invariance** — bit-identical at `ELSA_THREADS ∈ {1, 2, 4}`
+//!   (the repo-wide determinism contract).
+//! * **Reference equality** — bit-identical to the naive
+//!   `matmul_transpose_b → softmax → matmul` pipeline on random inputs,
+//!   on the full workload zoo, and on adversarial inputs: fully masked
+//!   (all-`-inf`-score) rows, a single key, a single query, `n = 1`.
+//!
+//! Reproduce any failure with the reported seed:
+//! `ELSA_TESTKIT_SEED=0x... cargo test --test flash_equivalence`.
+
+use elsa::attention::exact::{self, AttentionInputs};
+use elsa::attention::flash::{self, FlashConfig};
+use elsa::linalg::{Matrix, SeededRng};
+use elsa::parallel::with_threads;
+use elsa::workloads::Workload;
+use elsa_testkit::prelude::*;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn random_inputs(n_q: usize, n: usize, d: usize, seed: u64) -> AttentionInputs {
+    let mut rng = SeededRng::new(seed);
+    let q = Matrix::from_fn(n_q, d, |_, _| rng.standard_normal() as f32);
+    let k = Matrix::from_fn(n, d, |_, _| rng.standard_normal() as f32);
+    let v = Matrix::from_fn(n, d, |_, _| rng.standard_normal() as f32);
+    AttentionInputs::new(q, k, v)
+}
+
+/// The acceptance-criteria tile grid for a given `n`: {1, 8, 64, n}, plus
+/// a non-divisor and an oversized tile for the adversarial corners.
+fn tile_grid(n: usize) -> Vec<usize> {
+    let mut tiles = vec![1, 8, 64, n, 7, n + 13];
+    tiles.sort_unstable();
+    tiles.dedup();
+    tiles
+}
+
+props! {
+    config: Config::with_cases(12);
+
+    // Bit-identical to the naive kernel across every tile size and worker
+    // count — the tentpole contract, on random rectangular shapes.
+    fn tiled_kernel_bit_identical_to_naive_everywhere(
+        n in ints(1, 96),
+        n_q in ints(1, 48),
+        d in ints(1, 64),
+        seed in ints_u64(1, 1 << 32),
+    ) {
+        let inputs = random_inputs(n_q, n, d, seed);
+        let scale = 1.0 / (d as f32).sqrt();
+        let naive = with_threads(1, || exact::attention_with_scale(&inputs, scale));
+        for tile in tile_grid(n) {
+            for workers in THREAD_COUNTS {
+                let tiled = with_threads(workers, || {
+                    flash::flash_attention(&inputs, scale, FlashConfig::new(tile))
+                });
+                prop_assert_eq!(
+                    bits(&naive),
+                    bits(&tiled),
+                    "n={} n_q={} d={} tile={} threads={}",
+                    n, n_q, d, tile, workers
+                );
+            }
+        }
+    }
+
+    // Fully masked rows: dot products that overflow f32 to -inf for every
+    // key must reproduce the naive kernel's uniform-distribution path
+    // exactly, for rows mixed in with normal rows.
+    fn masked_rows_match_naive_uniform_path(
+        n in ints(1, 40),
+        masked_rows in ints(1, 8),
+        seed in ints_u64(1, 1 << 32),
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let d = 8;
+        let n_q = masked_rows + 4;
+        // Masked query rows have huge-magnitude entries opposing every key;
+        // keys share one sign so each dot overflows to -inf after f32 cast.
+        let k = Matrix::from_fn(n, d, |_, _| -(3.0e38 / d as f32) * (1.0 + rng.uniform() as f32));
+        let q = Matrix::from_fn(n_q, d, |r, _| {
+            if r < masked_rows { 3.0e38 } else { rng.standard_normal() as f32 * 0.5 }
+        });
+        let v = Matrix::from_fn(n, d, |_, _| rng.standard_normal() as f32);
+        let inputs = AttentionInputs::new(q, k, v);
+        // Confirm the adversarial construction actually produces the -inf row.
+        let scores = exact::attention_scores(&inputs, 1.0);
+        prop_assert!(scores.row(0).iter().all(|s| *s == f32::NEG_INFINITY));
+        let naive = exact::attention(&inputs);
+        for tile in tile_grid(n) {
+            let tiled = flash::flash_attention(&inputs, 1.0, FlashConfig::new(tile));
+            prop_assert_eq!(bits(&naive), bits(&tiled), "n={} tile={}", n, tile);
+        }
+    }
+
+    // Thread invariance on its own terms: the reference worker count is
+    // part of the contract, so compare every count against every other.
+    fn streaming_kernel_thread_invariant(
+        n in ints(1, 80),
+        seed in ints_u64(1, 1 << 32),
+    ) {
+        let inputs = random_inputs(n, n, 32, seed);
+        let reference = with_threads(1, || flash::flash_attention_default(&inputs, 0.25));
+        for workers in THREAD_COUNTS {
+            let out = with_threads(workers, || flash::flash_attention_default(&inputs, 0.25));
+            prop_assert_eq!(bits(&reference), bits(&out), "threads={}", workers);
+        }
+    }
+}
+
+/// The acceptance-criteria sweep: every workload in the zoo, tile sizes
+/// {1, 8, 64, n}, threads {1, 2, 4}, bitwise against naive exact attention.
+#[test]
+fn workload_zoo_bit_identical_across_tiles_and_threads() {
+    let mut rng = SeededRng::new(0xF1A5);
+    for workload in Workload::all() {
+        let inputs = workload.generate_invocation(&mut rng);
+        let n = inputs.num_keys();
+        let scale = 1.0 / (inputs.dim() as f32).sqrt();
+        let naive = with_threads(1, || exact::attention_with_scale(&inputs, scale));
+        for tile in [1, 8, 64, n] {
+            for workers in THREAD_COUNTS {
+                let tiled = with_threads(workers, || {
+                    flash::flash_attention(&inputs, scale, FlashConfig::new(tile))
+                });
+                assert_eq!(
+                    bits(&naive),
+                    bits(&tiled),
+                    "{workload}: n={n} tile={tile} threads={workers}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn single_key_and_single_query_corners() {
+    // n = 1: one key tile no matter the tile size; softmax over one score
+    // is exactly 1.0, so the output row is the value row bit-for-bit.
+    let inputs = random_inputs(3, 1, 16, 77);
+    for tile in [1, 8, 64] {
+        let out = flash::flash_attention(&inputs, 0.5, FlashConfig::new(tile));
+        for i in 0..3 {
+            for (a, b) in out.row(i).iter().zip(inputs.value().row(0)) {
+                assert_eq!(a.to_bits(), b.to_bits(), "tile={tile} row={i}");
+            }
+        }
+    }
+    // Single query row: the par_rows_mut fan-out has exactly one unit of work.
+    let inputs = random_inputs(1, 50, 16, 78);
+    let naive = exact::attention(&inputs);
+    for workers in THREAD_COUNTS {
+        let tiled = with_threads(workers, || flash::flash_attention_default(&inputs, 1.0));
+        assert_eq!(bits(&naive), bits(&tiled), "threads={workers}");
+    }
+}
+
+#[test]
+fn indivisible_tile_sizes_cover_the_remainder() {
+    // n = 97 (prime): no tile in the grid divides it except 1 and 97.
+    let inputs = random_inputs(13, 97, 24, 79);
+    let naive = exact::attention_with_scale(&inputs, 0.2);
+    for tile in [2, 3, 5, 8, 48, 96, 97, 128] {
+        let tiled = flash::flash_attention(&inputs, 0.2, FlashConfig::new(tile));
+        assert_eq!(bits(&naive), bits(&tiled), "tile={tile}");
+    }
+}
+
+#[test]
+fn streaming_workspace_is_linear_in_n() {
+    // The memory claim behind the degradation-path rewiring: for the
+    // serving config's n_max = 200 the streaming workspace (even with 8
+    // rows in flight) is far below the naive score matrix.
+    let n = 200;
+    let streaming = flash::streaming_workspace_bytes(n, 64, 8);
+    let naive = flash::naive_workspace_bytes(n, n);
+    assert!(
+        streaming * 10 < naive,
+        "streaming {streaming} B vs naive {naive} B"
+    );
+    // And the gap widens quadratically: 4x the keys, ~4x the ratio.
+    let big = flash::naive_workspace_bytes(4 * n, 4 * n) as f64
+        / flash::streaming_workspace_bytes(4 * n, 64, 8) as f64;
+    let small = naive as f64 / streaming as f64;
+    assert!(big > 3.0 * small, "ratio {small} -> {big}");
+}
