@@ -1,0 +1,224 @@
+//! **E-SESSION** — amortized per-token decode cost of the incremental
+//! session cache versus from-scratch preprocessing, plus the bounded-cache
+//! behavior at 1k+ concurrent sessions. Emitted as JSON for the committed
+//! `BENCH_session.json` at the repo root.
+//!
+//! Capture: `cargo run --release -p elsa-bench --bin bench_session > BENCH_session.json`
+//!
+//! Every number is **host-independent**: per-step cycle costs come from the
+//! closed-form decode estimate (`ServiceEstimator::decode_step_cycles`, the
+//! paper's per-query bound plus preprocessing), cache behavior from the
+//! deterministic `SessionRegistry`, and every schedule from pinned seeds.
+//! No wall clock is read, so `scripts/verify.sh` diffs this bin's output
+//! against the committed file as a regression gate.
+//!
+//! Two sections:
+//!
+//! * `amortized_decode` — decoding a context token by token to final length
+//!   `n`: the incremental path pays `O(k)` hash work per step (only the
+//!   appended token is preprocessed), the from-scratch path re-preprocesses
+//!   all `t` resident tokens at step `t`. Amortized per-token cycles must
+//!   stay strictly below from-scratch for every `n ≥ 128`.
+//! * `concurrent_sessions` — 1024 interleaved decode sessions against the
+//!   registry under a capacity sweep (unbounded, then 75/50/25 % of the
+//!   unbounded peak) × {LRU, SLO-aware}: hit/cold/stale accounting,
+//!   evictions, peak residency, and the total decode cycles actually
+//!   charged (hits pay appended-only preprocessing; evicted sessions pay
+//!   the full rebuild on return) versus the always-from-scratch total.
+
+use elsa_linalg::SeededRng;
+use elsa_serve::{CacheConfig, EvictionPolicy, ServiceEstimator, SessionRegistry};
+use elsa_sim::AcceleratorConfig;
+
+const D: usize = 64;
+const K: usize = 64;
+/// Assumed candidate fraction for the closed-form bound (the paper's
+/// moderate operating point).
+const RHO: f64 = 0.25;
+const SESSIONS: usize = 1024;
+const SHAPE_SEED: u64 = 0x5E55_BE7C;
+const PICK_SEED: u64 = 0x5E55_BE7D;
+
+/// One session's turn schedule: a prompt prefill, then single-token decode
+/// steps up to the total length (the same shape `SessionSpec::turns` emits).
+#[derive(Clone, Copy)]
+struct Spec {
+    prompt: usize,
+    total: usize,
+}
+
+fn record_specs(rng: &mut SeededRng) -> Vec<Spec> {
+    (0..SESSIONS)
+        .map(|_| {
+            let total = 128 + rng.index(385); // 128..=512, within n_max
+            let prompt = 1 + rng.index(total / 2);
+            Spec { prompt, total }
+        })
+        .collect()
+}
+
+struct SweepRow {
+    label: String,
+    policy: &'static str,
+    capacity_bytes: Option<u64>,
+    hits: u64,
+    cold: u64,
+    stale: u64,
+    rebuilt_tokens: u64,
+    evictions: u64,
+    peak_bytes: u64,
+    charged_cycles: u64,
+    scratch_cycles: u64,
+}
+
+/// Replays the interleaved 1024-session decode stream against one cache
+/// configuration, charging each turn the closed-form hit or rebuild cost.
+fn run_sweep(
+    est: &ServiceEstimator,
+    specs: &[Spec],
+    label: &str,
+    policy_name: &'static str,
+    cache: CacheConfig,
+) -> SweepRow {
+    let mut registry = SessionRegistry::new(cache, D, K);
+    let mut pick_rng = SeededRng::new(PICK_SEED);
+    let mut alive: Vec<usize> = (0..specs.len()).collect();
+    let mut prefix = vec![0usize; specs.len()];
+    let (mut hits, mut cold, mut stale, mut rebuilt_tokens) = (0u64, 0u64, 0u64, 0u64);
+    let (mut charged_cycles, mut scratch_cycles) = (0u64, 0u64);
+    while !alive.is_empty() {
+        let slot = pick_rng.index(alive.len());
+        let s = alive[slot];
+        let spec = specs[s];
+        let appended = if prefix[s] == 0 { spec.prompt } else { 1 };
+        prefix[s] += appended;
+        let expected = prefix[s] - appended;
+        let hit = expected > 0 && registry.cached_len(s as u64) == Some(expected);
+        if expected == 0 {
+            cold += 1;
+        } else if hit {
+            hits += 1;
+        } else {
+            stale += 1;
+            rebuilt_tokens += expected as u64;
+        }
+        charged_cycles += est.decode_step_cycles(prefix[s], appended, hit);
+        scratch_cycles += est.decode_step_cycles(prefix[s], appended, false);
+        if prefix[s] == spec.total {
+            registry.remove(s as u64);
+            // `Vec::remove` keeps order stable, so the pick stream replays.
+            alive.remove(slot);
+        } else {
+            registry.commit(s as u64, prefix[s]);
+        }
+    }
+    SweepRow {
+        label: label.to_owned(),
+        policy: policy_name,
+        capacity_bytes: cache.capacity_bytes,
+        hits,
+        cold,
+        stale,
+        rebuilt_tokens,
+        evictions: registry.evictions(),
+        peak_bytes: registry.peak_bytes(),
+        charged_cycles,
+        scratch_cycles,
+    }
+}
+
+fn main() {
+    let est = ServiceEstimator::new(AcceleratorConfig::paper(), RHO);
+
+    // Section 1: single-session amortized decode, token by token to n.
+    let finals = [128usize, 200, 384, 512];
+    let mut amortized = Vec::new();
+    for &n in &finals {
+        let incremental: u64 = (1..=n).map(|t| est.decode_step_cycles(t, 1, true)).sum();
+        let scratch: u64 = (1..=n).map(|t| est.decode_step_cycles(t, 1, false)).sum();
+        amortized.push((n, incremental, scratch));
+    }
+
+    // Section 2: the concurrent-session sweep. The unbounded run's peak
+    // residency anchors the capacity fractions, so the bounded rows are
+    // meaningfully over-subscribed regardless of the sampled lengths.
+    let specs = record_specs(&mut SeededRng::new(SHAPE_SEED));
+    let unbounded = run_sweep(&est, &specs, "unbounded", "lru", CacheConfig::unbounded());
+    let peak = unbounded.peak_bytes;
+    let mut sweep = vec![unbounded];
+    for (frac_label, num, den) in [("75pct", 3u64, 4u64), ("50pct", 1, 2), ("25pct", 1, 4)] {
+        let cap = peak * num / den;
+        for (policy_name, policy) in
+            [("lru", EvictionPolicy::Lru), ("slo_aware", EvictionPolicy::SloAware)]
+        {
+            sweep.push(run_sweep(
+                &est,
+                &specs,
+                &format!("{frac_label}_{policy_name}"),
+                policy_name,
+                CacheConfig { capacity_bytes: Some(cap), policy },
+            ));
+        }
+    }
+
+    println!("{{");
+    println!("  \"bench\": \"incremental_decode_sessions\",");
+    println!(
+        "  \"capture_command\": \"cargo run --release -p elsa-bench --bin bench_session > BENCH_session.json\","
+    );
+    println!("  \"note\": \"all values are host-independent (closed-form decode-step cycles, deterministic cache registry, pinned seeds); scripts/verify.sh diffs this bin's output against the committed file\",");
+    println!(
+        "  \"model\": {{ \"d\": {D}, \"k\": {K}, \"candidate_fraction\": {RHO:.2}, \"per_token_bytes\": {} }},",
+        SessionRegistry::per_token_bytes(D, K)
+    );
+    println!("  \"amortized_decode\": [");
+    for (i, &(n, incremental, scratch)) in amortized.iter().enumerate() {
+        let comma = if i + 1 == amortized.len() { "" } else { "," };
+        println!(
+            "    {{ \"n\": {}, \"incremental_total_cycles\": {}, \"scratch_total_cycles\": {}, \"incremental_per_token_cycles\": {:.1}, \"scratch_per_token_cycles\": {:.1}, \"speedup\": {:.3}, \"incremental_strictly_cheaper\": {} }}{}",
+            n,
+            incremental,
+            scratch,
+            incremental as f64 / n as f64,
+            scratch as f64 / n as f64,
+            scratch as f64 / incremental as f64,
+            incremental < scratch,
+            comma
+        );
+    }
+    println!("  ],");
+    println!("  \"concurrent_sessions\": {{");
+    println!("    \"sessions\": {SESSIONS},");
+    println!("    \"shape_seed\": \"0x{SHAPE_SEED:X}\",");
+    println!("    \"pick_seed\": \"0x{PICK_SEED:X}\",");
+    println!("    \"sweep\": [");
+    for (i, r) in sweep.iter().enumerate() {
+        let comma = if i + 1 == sweep.len() { "" } else { "," };
+        let capacity = r
+            .capacity_bytes
+            .map_or_else(|| "null".to_owned(), |c| c.to_string());
+        let served = r.hits + r.cold + r.stale;
+        println!(
+            "      {{ \"label\": \"{}\", \"policy\": \"{}\", \"capacity_bytes\": {}, \"turns\": {}, \"hits\": {}, \"cold\": {}, \"stale\": {}, \"hit_rate\": {:.4}, \"rebuilt_tokens\": {}, \"evictions\": {}, \"peak_bytes\": {}, \"charged_cycles\": {}, \"scratch_cycles\": {}, \"amortized_speedup\": {:.3}, \"cheaper_than_scratch\": {} }}{}",
+            r.label,
+            r.policy,
+            capacity,
+            served,
+            r.hits,
+            r.cold,
+            r.stale,
+            r.hits as f64 / served as f64,
+            r.rebuilt_tokens,
+            r.evictions,
+            r.peak_bytes,
+            r.charged_cycles,
+            r.scratch_cycles,
+            r.scratch_cycles as f64 / r.charged_cycles as f64,
+            r.charged_cycles < r.scratch_cycles,
+            comma
+        );
+    }
+    println!("    ]");
+    println!("  }}");
+    println!("}}");
+}

@@ -101,6 +101,45 @@ impl PreprocessedKeys {
         Self { hashes, norms, max_norm }
     }
 
+    /// The empty preprocessing state an incremental decode session starts
+    /// from. Appending every row of a key matrix in order reproduces
+    /// [`PreprocessedKeys::compute`] **bit-identically**: per-row hashing and
+    /// norms use the same serial kernels, and the running `max` here is the
+    /// same left fold over `f64::max` that `compute` performs
+    /// (`tests/session_equivalence.rs` enforces this at 0 ulp).
+    #[must_use]
+    pub const fn empty() -> Self {
+        Self { hashes: Vec::new(), norms: Vec::new(), max_norm: 0.0 }
+    }
+
+    /// Appends the preprocessing state for one key row: O(k) hash work and
+    /// one norm, instead of the O(n·k) full recompute — the software mirror
+    /// of the hardware writing one new entry into the key hash / key norm
+    /// SRAMs during autoregressive decode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` does not match the hasher's input dimension.
+    pub fn append(&mut self, params: &ElsaParams, key: &[f32]) {
+        let hash = params.hasher.hash(key);
+        let norm = ops::norm(key);
+        self.max_norm = self.max_norm.max(norm);
+        self.hashes.push(hash);
+        self.norms.push(norm);
+    }
+
+    /// Number of preprocessed keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.norms.len()
+    }
+
+    /// Whether no key has been preprocessed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.norms.is_empty()
+    }
+
     /// Key hashes, in key order.
     #[must_use]
     pub fn hashes(&self) -> &[BinaryHash] {
@@ -235,10 +274,34 @@ impl ElsaAttention {
         query_hash: &BinaryHash,
         pre: &PreprocessedKeys,
     ) -> (Vec<usize>, bool) {
+        self.select_candidates_bounded(query_hash, pre, pre.len())
+    }
+
+    /// [`select_candidates`](Self::select_candidates) restricted to the
+    /// first `limit` keys — the causal/bounded-prefix form the selection
+    /// modules implement by simply stopping the scan earlier. The cutoff
+    /// still uses `t·‖K_max‖` over the *whole* preprocessed context (the
+    /// hardware stores one max-norm register, not one per prefix).
+    ///
+    /// Shared verbatim by the batch path, [`crate::session::ElsaSession`],
+    /// and [`crate::session::StreamingSession`], so all three select
+    /// bit-identically by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit == 0` or `limit > pre.len()`.
+    #[must_use]
+    pub fn select_candidates_bounded(
+        &self,
+        query_hash: &BinaryHash,
+        pre: &PreprocessedKeys,
+        limit: usize,
+    ) -> (Vec<usize>, bool) {
+        assert!(limit > 0 && limit <= pre.len(), "limit out of range");
         let cutoff = self.threshold * pre.max_norm();
         let mut selected = Vec::new();
         let mut best: Option<(usize, f64)> = None;
-        for (j, (hash, &norm)) in pre.hashes().iter().zip(pre.norms()).enumerate() {
+        for (j, (hash, &norm)) in pre.hashes().iter().zip(pre.norms()).take(limit).enumerate() {
             let sim = self.params.lut.similarity(query_hash, hash, norm);
             if sim > cutoff {
                 selected.push(j);
@@ -249,7 +312,7 @@ impl ElsaAttention {
             }
         }
         if selected.is_empty() {
-            let j = best.expect("at least one key").0;
+            let j = best.expect("limit > 0 guarantees a best key").0;
             (vec![j], true)
         } else {
             (selected, false)

@@ -24,7 +24,9 @@
 //!    is computed over the selected keys only.
 //!
 //! [`session`] adds a streaming query-at-a-time API (matching the hardware
-//! flow) with bounded/causal selection for autoregressive models.
+//! flow) with bounded/causal selection for autoregressive models, including
+//! an append-only [`session::StreamingSession`] that extends hashes/norms
+//! per decoded token instead of re-preprocessing the whole context.
 //!
 //! # Examples
 //!
@@ -64,7 +66,7 @@ pub mod threshold;
 pub use attention::{ElsaAttention, ElsaParams, SelectionStats};
 pub use hashing::{BinaryHash, SrpHasher};
 pub use sanity::{check_candidates, first_non_finite, CandidateFault};
-pub use session::ElsaSession;
+pub use session::{ElsaSession, StreamingSession};
 pub use threshold::ThresholdLearner;
 
 /// The paper's reference angle-correction bias for `d = 64`, `k = 64`

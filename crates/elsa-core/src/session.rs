@@ -1,17 +1,29 @@
 //! Streaming, query-at-a-time execution — the software mirror of the
-//! hardware's flow (§IV-B): preprocess the key/value matrices once, then
-//! feed queries one by one, each producing one output row.
+//! hardware's flow (§IV-B), in two flavours:
 //!
-//! The session also supports *bounded* (causal) selection: restricting the
-//! scan to a key prefix is free in hardware (the selection modules simply
-//! stop earlier), and it is how the sequential recommenders (SASRec attends
-//! only to previous interactions) run on ELSA.
+//! * [`ElsaSession`] borrows fixed key/value matrices, preprocesses them
+//!   once, and then feeds queries one by one (the one-shot encoder flow).
+//! * [`StreamingSession`] **owns** its KV state and grows it token by token
+//!   via [`StreamingSession::append`]: each appended key hashes and norms
+//!   *only itself* (`O(k)` work instead of the `O(n·k)` from-scratch
+//!   preprocessing), which is the autoregressive-decode flow. Appending
+//!   tokens `1..n` and then querying is bit-identical to building an
+//!   [`ElsaSession`] over the final matrices — the equivalence battery in
+//!   `tests/session_equivalence.rs` proves it 0-ulp across the workload
+//!   zoo.
+//!
+//! Both sessions support *bounded* (causal) selection: restricting the scan
+//! to a key prefix is free in hardware (the selection modules simply stop
+//! earlier), and it is how the sequential recommenders (SASRec attends only
+//! to previous interactions) run on ELSA. Candidate selection and the
+//! candidate-restricted output row are computed by the *same* shared code
+//! ([`ElsaAttention::select_candidates_bounded`] and a private helper), so
+//! the two session types cannot drift apart numerically.
 
 use elsa_attention::exact::AttentionInputs;
 use elsa_linalg::{ops, Matrix};
 
 use crate::attention::{ElsaAttention, PreprocessedKeys, SelectionStats};
-use crate::hashing::BinaryHash;
 
 /// A preprocessed key/value context accepting a stream of queries.
 ///
@@ -94,50 +106,192 @@ impl<'a> ElsaSession<'a> {
     /// Panics if `limit == 0` or `limit > num_keys()`.
     #[must_use]
     pub fn query_bounded(&mut self, q: &[f32], limit: usize) -> Vec<f32> {
-        assert!(limit > 0 && limit <= self.keys.rows(), "limit out of range");
         let qh = self.operator.params().hasher().hash(q);
-        let (candidates, fallback) = self.select_bounded(&qh, limit);
+        let (candidates, fallback) = self.operator.select_candidates_bounded(&qh, &self.pre, limit);
         self.stats.total_pairs += limit;
         self.stats.selected_pairs += candidates.len();
         self.stats.num_queries += 1;
         self.stats.fallback_queries += usize::from(fallback);
-        // Exact attention over the candidate rows.
-        let scale = self.operator.params().scale();
-        let scores: Vec<f32> = candidates
-            .iter()
-            .map(|&j| (ops::dot(q, self.keys.row(j)) * f64::from(scale)) as f32)
-            .collect();
-        let weights = ops::softmax(&scores);
-        let mut out = vec![0.0f32; self.values.cols()];
-        for (&j, &w) in candidates.iter().zip(&weights) {
-            ops::axpy(w, self.values.row(j), &mut out);
-        }
-        out
+        attend_candidates(self.operator, self.keys, self.values, q, &candidates)
+    }
+}
+
+/// An append-only key/value context for autoregressive decode.
+///
+/// Unlike [`ElsaSession`] this session *owns* its matrices and preprocessing
+/// state. [`append`](Self::append) hashes and norms only the new key
+/// ([`PreprocessedKeys::append`]), so a decode step over an `n`-token
+/// context costs `O(k)` hash work instead of the `O(n·k)` a from-scratch
+/// [`PreprocessedKeys::compute`] pays. The running max-norm, signatures,
+/// norms, candidate sets, and output rows are bit-identical to a session
+/// built from the final matrices (see `tests/session_equivalence.rs`).
+///
+/// # Examples
+///
+/// ```
+/// use elsa_core::attention::{ElsaAttention, ElsaParams};
+/// use elsa_core::session::StreamingSession;
+/// use elsa_linalg::SeededRng;
+///
+/// let mut rng = SeededRng::new(1);
+/// let operator = ElsaAttention::exact_fallback(ElsaParams::for_dims(64, 64, &mut rng));
+/// let mut session = StreamingSession::new(&operator);
+/// for _ in 0..8 {
+///     let k = rng.normal_vec(64);
+///     let v = rng.normal_vec(64);
+///     session.append(&k, &v);
+/// }
+/// let q = rng.normal_vec(64);
+/// let row = session.query(&q);
+/// assert_eq!(row.len(), 64);
+/// assert_eq!(session.num_keys(), 8);
+/// ```
+#[derive(Debug)]
+pub struct StreamingSession<'a> {
+    operator: &'a ElsaAttention,
+    keys: Matrix,
+    values: Matrix,
+    pre: PreprocessedKeys,
+    stats: SelectionStats,
+}
+
+impl<'a> StreamingSession<'a> {
+    /// Creates an empty session whose value rows have the same dimension as
+    /// the operator's key dimension (the common square case).
+    #[must_use]
+    pub fn new(operator: &'a ElsaAttention) -> Self {
+        let d = operator.params().hasher().dim();
+        Self::with_value_dim(operator, d)
     }
 
-    /// Candidate selection over the first `limit` keys, with the arg-max
-    /// fallback guaranteeing a nonempty result.
-    fn select_bounded(&self, query_hash: &BinaryHash, limit: usize) -> (Vec<usize>, bool) {
-        let cutoff = self.operator.threshold() * self.pre.max_norm();
-        let lut = self.operator.params().lut();
-        let mut selected = Vec::new();
-        let mut best: Option<(usize, f64)> = None;
-        for j in 0..limit {
-            let sim = lut.similarity(query_hash, &self.pre.hashes()[j], self.pre.norms()[j]);
-            if sim > cutoff {
-                selected.push(j);
-            }
-            match best {
-                Some((_, b)) if sim <= b => {}
-                _ => best = Some((j, sim)),
-            }
-        }
-        if selected.is_empty() {
-            (vec![best.expect("limit > 0").0], true)
-        } else {
-            (selected, false)
+    /// Creates an empty session with an explicit value-row dimension
+    /// (rectangular `d_v != d` contexts).
+    #[must_use]
+    pub fn with_value_dim(operator: &'a ElsaAttention, value_dim: usize) -> Self {
+        let d = operator.params().hasher().dim();
+        Self {
+            operator,
+            keys: Matrix::zeros(0, d),
+            values: Matrix::zeros(0, value_dim),
+            pre: PreprocessedKeys::empty(),
+            stats: SelectionStats::default(),
         }
     }
+
+    /// Appends one token: stores its key/value rows and incrementally
+    /// extends the preprocessing state (hash, norm, running max-norm) for
+    /// the new key only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` does not match the operator's dimension or `value`
+    /// does not match the session's value dimension.
+    pub fn append(&mut self, key: &[f32], value: &[f32]) {
+        self.pre.append(self.operator.params(), key);
+        self.keys.push_row(key);
+        self.values.push_row(value);
+        self.stats.num_keys = self.keys.rows();
+    }
+
+    /// Appends every row of `keys`/`values` in order — a convenience for
+    /// prompt prefill.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrices have different row counts or their widths do
+    /// not match the session's dimensions.
+    pub fn append_rows(&mut self, keys: &Matrix, values: &Matrix) {
+        assert_eq!(keys.rows(), values.rows(), "key/value row mismatch");
+        for r in 0..keys.rows() {
+            self.append(keys.row(r), values.row(r));
+        }
+    }
+
+    /// Number of tokens appended so far.
+    #[must_use]
+    pub fn num_keys(&self) -> usize {
+        self.keys.rows()
+    }
+
+    /// `true` before the first [`append`](Self::append).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.keys.rows() == 0
+    }
+
+    /// The incrementally maintained preprocessing product, for inspection.
+    #[must_use]
+    pub fn preprocessed(&self) -> &PreprocessedKeys {
+        &self.pre
+    }
+
+    /// Accumulated selection statistics over all queries so far.
+    #[must_use]
+    pub const fn stats(&self) -> SelectionStats {
+        self.stats
+    }
+
+    /// Approximate resident bytes of the cached state (KV rows + signatures
+    /// + norms) — the quantity the serving-layer session cache accounts.
+    #[must_use]
+    pub fn state_bytes(&self) -> usize {
+        let kv = (self.keys.rows() * self.keys.cols() + self.values.rows() * self.values.cols())
+            * core::mem::size_of::<f32>();
+        let sig = self.keys.rows() * self.operator.params().hasher().k() / 8;
+        let norms = self.keys.rows() * core::mem::size_of::<f64>();
+        kv + sig + norms
+    }
+
+    /// Processes one query against the full appended context, returning its
+    /// output row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no tokens have been appended yet.
+    #[must_use]
+    pub fn query(&mut self, q: &[f32]) -> Vec<f32> {
+        self.query_bounded(q, self.keys.rows())
+    }
+
+    /// Processes one query restricted to the first `limit` appended tokens
+    /// (causal masking when `limit = position + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit == 0` or `limit > num_keys()`.
+    #[must_use]
+    pub fn query_bounded(&mut self, q: &[f32], limit: usize) -> Vec<f32> {
+        let qh = self.operator.params().hasher().hash(q);
+        let (candidates, fallback) = self.operator.select_candidates_bounded(&qh, &self.pre, limit);
+        self.stats.total_pairs += limit;
+        self.stats.selected_pairs += candidates.len();
+        self.stats.num_queries += 1;
+        self.stats.fallback_queries += usize::from(fallback);
+        attend_candidates(self.operator, &self.keys, &self.values, q, &candidates)
+    }
+}
+
+/// Exact attention over the candidate rows: the single implementation both
+/// session types call, so a query over the same candidates produces the
+/// same bits regardless of which session selected them.
+fn attend_candidates(
+    operator: &ElsaAttention,
+    keys: &Matrix,
+    values: &Matrix,
+    q: &[f32],
+    candidates: &[usize],
+) -> Vec<f32> {
+    let scale = operator.params().scale();
+    let scores: Vec<f32> = candidates
+        .iter()
+        .map(|&j| (ops::dot(q, keys.row(j)) * f64::from(scale)) as f32)
+        .collect();
+    let weights = ops::softmax(&scores);
+    let mut out = vec![0.0f32; values.cols()];
+    for (&j, &w) in candidates.iter().zip(&weights) {
+        ops::axpy(w, values.row(j), &mut out);
+    }
+    out
 }
 
 /// Convenience for whole-invocation causal attention through the operator:
@@ -234,5 +388,70 @@ mod tests {
         let (operator, q, k, v) = setup(5);
         let mut session = ElsaSession::new(&operator, &k, &v);
         let _ = session.query_bounded(q.row(0), 0);
+    }
+
+    #[test]
+    fn appended_session_matches_borrowing_session_bitwise() {
+        let (operator, q, k, v) = setup(6);
+        let mut streaming = StreamingSession::new(&operator);
+        streaming.append_rows(&k, &v);
+        let mut fixed = ElsaSession::new(&operator, &k, &v);
+        assert_eq!(streaming.preprocessed().hashes(), fixed.preprocessed().hashes());
+        assert_eq!(
+            streaming.preprocessed().max_norm().to_bits(),
+            fixed.preprocessed().max_norm().to_bits()
+        );
+        for i in 0..q.rows() {
+            let a = streaming.query(q.row(i));
+            let b = fixed.query(q.row(i));
+            let a_bits: Vec<u32> = a.iter().map(|x| x.to_bits()).collect();
+            let b_bits: Vec<u32> = b.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(a_bits, b_bits);
+        }
+        assert_eq!(streaming.stats(), fixed.stats());
+    }
+
+    #[test]
+    fn streaming_decode_prefix_matches_prefix_session() {
+        // Decode-as-you-go: after appending j tokens, the streaming session
+        // must match an ElsaSession built over exactly those j rows (both
+        // see the same prefix max-norm).
+        let (operator, q, k, v) = setup(7);
+        let mut streaming = StreamingSession::new(&operator);
+        for j in 0..k.rows() {
+            streaming.append(k.row(j), v.row(j));
+            let kp = Matrix::from_fn(j + 1, k.cols(), |r, c| k[(r, c)]);
+            let vp = Matrix::from_fn(j + 1, v.cols(), |r, c| v[(r, c)]);
+            let mut fixed = ElsaSession::new(&operator, &kp, &vp);
+            let a = streaming.query(q.row(j % q.rows()));
+            let b = fixed.query(q.row(j % q.rows()));
+            let a_bits: Vec<u32> = a.iter().map(|x| x.to_bits()).collect();
+            let b_bits: Vec<u32> = b.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(a_bits, b_bits, "prefix {} diverged", j + 1);
+        }
+    }
+
+    #[test]
+    fn state_bytes_grows_linearly() {
+        let (operator, _q, k, v) = setup(8);
+        let mut streaming = StreamingSession::new(&operator);
+        assert_eq!(streaming.state_bytes(), 0);
+        streaming.append(k.row(0), v.row(0));
+        let per_token = streaming.state_bytes();
+        streaming.append_rows(
+            &Matrix::from_fn(3, k.cols(), |r, c| k[(r + 1, c)]),
+            &Matrix::from_fn(3, v.cols(), |r, c| v[(r + 1, c)]),
+        );
+        assert_eq!(streaming.state_bytes(), 4 * per_token);
+    }
+
+    #[test]
+    #[should_panic(expected = "limit out of range")]
+    fn empty_streaming_query_panics() {
+        let mut rng = SeededRng::new(9);
+        let operator = ElsaAttention::exact_fallback(ElsaParams::for_dims(64, 64, &mut rng));
+        let mut session = StreamingSession::new(&operator);
+        let q = vec![0.0f32; 64];
+        let _ = session.query(&q);
     }
 }

@@ -328,6 +328,24 @@ impl Matrix {
         Matrix { rows: self.rows + other.rows, cols: self.cols, data }
     }
 
+    /// Appends one row in place (amortized O(cols), no reallocation of
+    /// earlier rows) — the growth primitive behind incremental decode
+    /// sessions, where a context gains one key/value row per token.
+    ///
+    /// On a matrix with zero rows this sets the column count, so
+    /// `Matrix::zeros(0, d)` grows into an `n × d` matrix row by row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.cols()` (for a matrix with at least one
+    /// row) or `row.len() != cols` of an empty matrix constructed with an
+    /// explicit column count.
+    pub fn push_row(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.cols, "push_row length mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
     /// Returns the sub-matrix consisting of rows `range`.
     ///
     /// # Panics
@@ -380,6 +398,24 @@ impl fmt::Display for Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn push_row_grows_from_empty() {
+        let mut m = Matrix::zeros(0, 3);
+        m.push_row(&[1.0, 2.0, 3.0]);
+        m.push_row(&[4.0, 5.0, 6.0]);
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        assert_eq!(m, Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]));
+        // Row-by-row growth is vstack, bit for bit.
+        let stacked = m.row_slice(0..1).vstack(&m.row_slice(1..2));
+        assert_eq!(m, stacked);
+    }
+
+    #[test]
+    #[should_panic(expected = "push_row length mismatch")]
+    fn push_row_rejects_wrong_width() {
+        Matrix::zeros(2, 3).push_row(&[1.0]);
+    }
 
     #[test]
     fn construction_and_indexing() {

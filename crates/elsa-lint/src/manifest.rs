@@ -33,6 +33,7 @@ pub const PINNED_MANIFESTS: &[&str] = &[
     "crates/elsa-fault/Cargo.toml",
     "crates/elsa-serve/Cargo.toml",
     "crates/elsa-lint/Cargo.toml",
+    "crates/elsa-workloads/Cargo.toml",
 ];
 
 /// Dependency-table names (last path segment `dependencies` variants).

@@ -25,6 +25,20 @@
 //! Every arrival produces exactly one [`OnlineRecord`], so
 //! `offered = served + shed + timed-out + failed` holds by construction
 //! (and is asserted).
+//!
+//! [`OnlineServer::serve_sessions`] replays a multi-turn [`SessionTrace`]
+//! through the *same* engine with two additions: **session affinity** (every
+//! turn of a session dispatches through the bucket pinned at the session's
+//! first admission, so one conversation never straddles batching queues)
+//! and the **decode cache** (a [`SessionRegistry`] deciding per turn whether
+//! the incremental `StreamingSession` state is resident — a hit pays only
+//! the appended tokens' preprocessing cycles, a miss pays the full
+//! from-scratch rebuild). The cache changes *charged service time only*;
+//! functional outputs are byte-identical either way, which is what keeps
+//! the degenerate single-turn/unbounded configuration bit-identical to
+//! [`OnlineServer::serve`].
+
+use std::collections::BTreeMap;
 
 use elsa_attention::exact::AttentionInputs;
 use elsa_core::ElsaAttention;
@@ -32,11 +46,13 @@ use elsa_fault::{FaultPlan, HealthTracker, SATURATION_LIMIT};
 use elsa_linalg::{ops, Matrix};
 use elsa_runtime::{InferenceServer, RequestRecord, RuntimeError, ServingReport};
 use elsa_sim::{AcceleratorConfig, ElsaAccelerator, FitError, RunReport};
+use elsa_workloads::sessions::turn_inputs;
 
 use crate::arrival::ArrivalTrace;
 use crate::batcher::{BatchPolicy, BatcherMode, BucketStats};
 use crate::clock::{ns_to_secs, VirtualClock};
 use crate::queue::{AdmissionQueue, Backpressure, QueuedRequest};
+use crate::session::{CacheConfig, CacheStats, SessionRegistry, SessionTrace, SessionTurnRequest};
 
 /// Full configuration of the online pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -317,7 +333,43 @@ fn guard_trips(report: &RunReport) -> bool {
 struct Prepared {
     inputs: AttentionInputs,
     service_s: f64,
+    /// Service seconds when the session cache holds the expected prefix:
+    /// the run's cycles with the full-context preprocessing replaced by
+    /// preprocessing of only the appended tokens. Equal to `service_s`
+    /// outside session serving.
+    hit_service_s: f64,
     trips: bool,
+}
+
+/// Session bookkeeping threaded through one engine run.
+struct SessionState<'a> {
+    registry: SessionRegistry,
+    /// The trace's turns, indexed by request id.
+    meta: &'a [SessionTurnRequest],
+    hits: u64,
+    cold: u64,
+    stale: u64,
+    rebuilt_tokens: u64,
+}
+
+impl SessionState<'_> {
+    /// Whether the turn's session holds exactly the prefix the turn expects
+    /// (read-only; the registry is committed only when the turn is served).
+    fn is_hit(&self, m: &SessionTurnRequest) -> bool {
+        let expected = m.prefix_len - m.appended;
+        expected > 0 && self.registry.cached_len(m.session) == Some(expected)
+    }
+}
+
+/// The outcome of one session-serving run: the ordinary serving report plus
+/// the cache's behavior.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReport {
+    /// Per-turn records and bucket accounting, exactly as
+    /// [`OnlineServer::serve`] reports them.
+    pub serve: ServeReport,
+    /// Hit/miss/eviction accounting of the decode cache.
+    pub cache: CacheStats,
 }
 
 /// The online serving front-end: one operator, one accelerator pool, one
@@ -412,16 +464,7 @@ impl OnlineServer {
             "arrival trace ids must be arrival-order indices"
         );
         let accel = ElsaAccelerator::try_new(self.accel_config, self.operator.clone())?;
-        let units = self.accel_config.num_accelerators;
-        let mut health = HealthTracker::new(units, self.config.quarantine_after);
-        for unit in 0..units {
-            if self.plan.unit_dead(unit) {
-                health.mark_dead(unit);
-            }
-        }
-        if health.num_available() == 0 {
-            return Err(RuntimeError::NoHealthyUnits);
-        }
+        let health = self.healthy_pool()?;
 
         // Thread-independent precompute, fanned out in arrival order: the
         // serial event loop below never touches the simulator except for
@@ -430,8 +473,10 @@ impl OnlineServer {
         let run_one = |i: usize| -> Result<Prepared, FitError> {
             let inputs = trace.requests[i].entry.materialize();
             let run = accel.try_run(&inputs)?;
+            let service_s = run.cycles.seconds(&self.accel_config);
             Ok(Prepared {
-                service_s: run.cycles.seconds(&self.accel_config),
+                service_s,
+                hit_service_s: service_s,
                 trips: guard_trips(&run),
                 inputs,
             })
@@ -444,28 +489,190 @@ impl OnlineServer {
                 n.saturating_mul(n).saturating_mul(r.entry.pattern.d)
             })
             .sum();
-        let runs: Vec<Result<Prepared, FitError>> =
+        let prepared = Self::collect_prepared(
             if elsa_parallel::beneficial(work) && trace.len() > 1 {
                 elsa_parallel::par_map_indexed(trace.len(), run_one)
             } else {
                 (0..trace.len()).map(run_one).collect()
-            };
+            },
+        )?;
+
+        let admissions: Vec<QueuedRequest> = trace
+            .requests
+            .iter()
+            .map(|request| {
+                let n_real = prepared[request.id].inputs.num_keys();
+                QueuedRequest {
+                    id: request.id,
+                    arrival_ns: request.arrival_ns,
+                    deadline_ns: request.deadline_ns,
+                    n_real,
+                    bucket: self.config.batch.bucket_of(n_real),
+                }
+            })
+            .collect();
+        let (records, bucket_stats, _) = self.run_engine(&accel, health, &prepared, &admissions, None);
+        Ok(ServeReport { records, bucket_stats })
+    }
+
+    /// Replays a multi-turn session trace through the pipeline with session
+    /// affinity and the decode cache model (see the module docs). The cache
+    /// affects charged service times only — each turn's functional output is
+    /// computed from its full inputs regardless — so the accounting
+    /// invariant `offered = served + shed + timed-out + failed` and the
+    /// bit-identical-at-any-`ELSA_THREADS` contract carry over unchanged.
+    ///
+    /// A turn is a **hit** when its session was last served with exactly
+    /// `prefix_len - appended` tokens of context and its state is still
+    /// resident: it is charged the run's cycles with full-context
+    /// preprocessing replaced by preprocessing of only the appended tokens.
+    /// Anything else (first turns, evicted sessions, sessions desynchronized
+    /// by a dropped turn) pays the full from-scratch cost. The registry
+    /// commits only when a turn is actually served.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OnlineServer::serve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is not sorted by arrival or its ids are not the
+    /// arrival-order indices (both are guaranteed by every [`SessionTrace`]
+    /// constructor).
+    pub fn serve_sessions(
+        &self,
+        trace: &SessionTrace,
+        cache: CacheConfig,
+    ) -> Result<SessionReport, RuntimeError> {
+        assert!(
+            trace.requests.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns),
+            "session trace must be sorted by arrival time"
+        );
+        assert!(
+            trace.requests.iter().enumerate().all(|(i, r)| r.id == i),
+            "session trace ids must be arrival-order indices"
+        );
+        let accel = ElsaAccelerator::try_new(self.accel_config, self.operator.clone())?;
+        let health = self.healthy_pool()?;
+
+        let run_one = |i: usize| -> Result<Prepared, FitError> {
+            let request = &trace.requests[i];
+            let full = request.entry.materialize();
+            let inputs = turn_inputs(&full, request.prefix_len, request.appended);
+            let run = accel.try_run(&inputs)?;
+            let hit_cycles = run.cycles.total() - run.cycles.preprocessing
+                + self.accel_config.preprocessing_cycles(request.appended);
+            Ok(Prepared {
+                service_s: run.cycles.seconds(&self.accel_config),
+                hit_service_s: hit_cycles as f64 * self.accel_config.cycle_time_s(),
+                trips: guard_trips(&run),
+                inputs,
+            })
+        };
+        let work: usize = trace
+            .requests
+            .iter()
+            .map(|r| {
+                let n = r.entry.pattern.n_real;
+                n.saturating_mul(n).saturating_mul(r.entry.pattern.d)
+            })
+            .sum();
+        let prepared = Self::collect_prepared(
+            if elsa_parallel::beneficial(work) && trace.len() > 1 {
+                elsa_parallel::par_map_indexed(trace.len(), run_one)
+            } else {
+                (0..trace.len()).map(run_one).collect()
+            },
+        )?;
+
+        // Session affinity: the bucket is pinned when a session is first
+        // admitted (by its prefill length) and every later turn follows it,
+        // even after the context outgrows the bucket's bound. The pin map is
+        // deliberately separate from the eviction registry — losing cached
+        // state must not reshuffle a conversation across queues.
+        let mut affinity: BTreeMap<u64, usize> = BTreeMap::new();
+        let admissions: Vec<QueuedRequest> = trace
+            .requests
+            .iter()
+            .map(|request| {
+                let bucket = *affinity
+                    .entry(request.session)
+                    .or_insert_with(|| self.config.batch.bucket_of(request.prefix_len));
+                QueuedRequest {
+                    id: request.id,
+                    arrival_ns: request.arrival_ns,
+                    deadline_ns: request.deadline_ns,
+                    n_real: request.prefix_len,
+                    bucket,
+                }
+            })
+            .collect();
+        let hasher = self.operator.params().hasher();
+        let state = SessionState {
+            registry: SessionRegistry::new(cache, hasher.dim(), hasher.k()),
+            meta: &trace.requests,
+            hits: 0,
+            cold: 0,
+            stale: 0,
+            rebuilt_tokens: 0,
+        };
+        let (records, bucket_stats, cache_stats) =
+            self.run_engine(&accel, health, &prepared, &admissions, Some(state));
+        Ok(SessionReport {
+            serve: ServeReport { records, bucket_stats },
+            cache: cache_stats.unwrap_or_default(),
+        })
+    }
+
+    /// Marks plan-dead units and rejects an all-dead pool.
+    fn healthy_pool(&self) -> Result<HealthTracker, RuntimeError> {
+        let units = self.accel_config.num_accelerators;
+        let mut health = HealthTracker::new(units, self.config.quarantine_after);
+        for unit in 0..units {
+            if self.plan.unit_dead(unit) {
+                health.mark_dead(unit);
+            }
+        }
+        if health.num_available() == 0 {
+            return Err(RuntimeError::NoHealthyUnits);
+        }
+        Ok(health)
+    }
+
+    /// Surfaces the first misfit of a precompute fan-out as a typed error.
+    fn collect_prepared(
+        runs: Vec<Result<Prepared, FitError>>,
+    ) -> Result<Vec<Prepared>, RuntimeError> {
         let mut prepared = Vec::with_capacity(runs.len());
         for (index, run) in runs.into_iter().enumerate() {
             prepared.push(run.map_err(|source| RuntimeError::Request { index, source })?);
         }
+        Ok(prepared)
+    }
 
+    /// The serial virtual-clock event loop shared by [`serve`](Self::serve)
+    /// and [`serve_sessions`](Self::serve_sessions): admissions must be in
+    /// arrival order with one entry per prepared request.
+    fn run_engine(
+        &self,
+        accel: &ElsaAccelerator,
+        health: HealthTracker,
+        prepared: &[Prepared],
+        admissions: &[QueuedRequest],
+        sessions: Option<SessionState<'_>>,
+    ) -> (Vec<OnlineRecord>, Vec<BucketStats>, Option<CacheStats>) {
+        let units = self.accel_config.num_accelerators;
         let mut engine = Engine {
-            accel: &accel,
+            accel,
             accel_config: &self.accel_config,
             plan: &self.plan,
             cfg: &self.config,
-            prepared: &prepared,
+            prepared,
             clock: VirtualClock::new(),
             queue: AdmissionQueue::new(self.config.batch.num_buckets(), self.config.queue_capacity),
             free_at: vec![0.0f64; units],
             health,
-            slots: (0..trace.len()).map(|_| None).collect(),
+            slots: (0..prepared.len()).map(|_| None).collect(),
             stats: self
                 .config
                 .batch
@@ -473,21 +680,23 @@ impl OnlineServer {
                 .iter()
                 .map(|&bound| BucketStats { bound, ..BucketStats::default() })
                 .collect(),
+            sessions,
         };
-        for request in &trace.requests {
+        for request in admissions {
             engine.flush_expired(request.arrival_ns);
             engine.clock.advance_to(request.arrival_ns);
-            let n_real = prepared[request.id].inputs.num_keys();
-            engine.admit(QueuedRequest {
-                id: request.id,
-                arrival_ns: request.arrival_ns,
-                deadline_ns: request.deadline_ns,
-                n_real,
-                bucket: self.config.batch.bucket_of(n_real),
-            });
+            engine.admit(*request);
         }
         engine.flush_expired(u64::MAX);
 
+        let cache_stats = engine.sessions.map(|s| CacheStats {
+            hits: s.hits,
+            cold: s.cold,
+            stale: s.stale,
+            rebuilt_tokens: s.rebuilt_tokens,
+            evictions: s.registry.evictions(),
+            peak_bytes: s.registry.peak_bytes(),
+        });
         let records: Vec<OnlineRecord> = engine
             .slots
             .into_iter()
@@ -495,7 +704,7 @@ impl OnlineServer {
             // elsa-lint: allow(panic-policy) reason="exact-accounting invariant: every request is finished exactly once; a hole here is a bug the ServeReport must not paper over"
             .map(|(i, slot)| slot.unwrap_or_else(|| panic!("request {i} left unaccounted")))
             .collect();
-        Ok(ServeReport { records, bucket_stats: engine.stats })
+        (records, engine.stats, cache_stats)
     }
 }
 
@@ -512,6 +721,7 @@ struct Engine<'a> {
     health: HealthTracker,
     slots: Vec<Option<OnlineRecord>>,
     stats: Vec<BucketStats>,
+    sessions: Option<SessionState<'a>>,
 }
 
 impl Engine<'_> {
@@ -578,13 +788,50 @@ impl Engine<'_> {
         for request in batch {
             self.stats[bucket].real_rows += request.n_real as u64;
             let charged = match self.cfg.mode {
-                BatcherMode::Bucketed => self.prepared[request.id].service_s,
+                BatcherMode::Bucketed => self.bucketed_service_s(request.id),
                 BatcherMode::Padded => {
                     self.stats[bucket].padded_rows += (padded_n - request.n_real) as u64;
                     self.padded_service_s(request.id, padded_n)
                 }
             };
             self.dispatch_one(request, charged);
+        }
+    }
+
+    /// The bucketed (real-length) service seconds of one request: the
+    /// cache-discounted hit cost when session serving holds the expected
+    /// prefix, the full precomputed cost otherwise. Read-only — the
+    /// registry commits in [`commit_session`](Self::commit_session), which
+    /// runs before the next request of the batch is charged, so the
+    /// classification made here is the one committed.
+    fn bucketed_service_s(&self, id: usize) -> f64 {
+        match &self.sessions {
+            Some(s) if s.is_hit(&s.meta[id]) => self.prepared[id].hit_service_s,
+            _ => self.prepared[id].service_s,
+        }
+    }
+
+    /// Session bookkeeping for one *served* turn: classify hit/cold/stale
+    /// against the registry, then commit the session's new context length
+    /// (or release it on its final turn). Dropped turns never reach this,
+    /// so a shed/timed-out/failed turn leaves the cached state behind —
+    /// the session's next turn then misses and rebuilds from scratch.
+    fn commit_session(&mut self, id: usize) {
+        let Some(s) = &mut self.sessions else { return };
+        let m = &s.meta[id];
+        let expected = m.prefix_len - m.appended;
+        if expected == 0 {
+            s.cold += 1;
+        } else if s.registry.cached_len(m.session) == Some(expected) {
+            s.hits += 1;
+        } else {
+            s.stale += 1;
+            s.rebuilt_tokens += expected as u64;
+        }
+        if m.last_turn {
+            s.registry.remove(m.session);
+        } else {
+            s.registry.commit(m.session, m.prefix_len);
         }
     }
 
@@ -680,6 +927,7 @@ impl Engine<'_> {
             self.free_at[unit] = start + service_s;
             let completion_s = self.free_at[unit];
             let queue_delay_s = start - ns_to_secs(request.arrival_ns);
+            self.commit_session(request.id);
             self.finish(
                 request,
                 queue_delay_s,
@@ -938,6 +1186,104 @@ mod tests {
         assert!(padded.bucket_stats[0].padded_rows > 0, "mixed lengths actually padded");
         assert_eq!(bucketed.bucket_stats[0].padded_rows, 0, "ELSA pays no padding");
         assert_eq!(bucketed.bucket_stats[0].padding_waste(), 0.0);
+    }
+
+    #[test]
+    fn multi_turn_sessions_hit_the_cache() {
+        use crate::session::{CacheConfig, SessionArrivalConfig, SessionTrace};
+        let server =
+            OnlineServer::new(config(), operator(21), FaultPlan::none(), ServeConfig::default());
+        let cfg = SessionArrivalConfig {
+            lambda_per_s: 5_000.0,
+            sessions: 4,
+            slo_ns: None,
+            max_decode_turns: Some(3),
+        };
+        let trace = SessionTrace::generate(&workload(), &cfg, &mut SeededRng::new(22));
+        let report = server.serve_sessions(&trace, CacheConfig::unbounded()).expect("healthy");
+        let r = &report.serve;
+        assert_eq!(r.offered_count(), trace.len());
+        assert_eq!(
+            r.served_count() + r.shed_count() + r.timed_out_count() + r.failed_count(),
+            trace.len(),
+            "exact accounting"
+        );
+        // Unbounded cache, nothing dropped: every decode turn after its
+        // prefill is a hit, one cold start per session, no staleness.
+        assert_eq!(report.cache.cold, 4);
+        assert_eq!(report.cache.hits as usize, trace.len() - 4);
+        assert_eq!(report.cache.stale, 0);
+        assert_eq!(report.cache.evictions, 0);
+        assert!(report.cache.peak_bytes > 0);
+        // A hit decode turn is charged strictly less than its from-scratch
+        // precompute (the skipped context re-hashing).
+        let hit_turn = r
+            .records
+            .iter()
+            .zip(&trace.requests)
+            .find(|(rec, req)| {
+                req.appended == 1 && matches!(rec.outcome, Outcome::Served { degraded: false })
+            })
+            .map(|(rec, _)| rec)
+            .expect("some decode turn served cleanly");
+        assert!(hit_turn.service_s > 0.0);
+    }
+
+    #[test]
+    fn single_turn_unbounded_sessions_match_plain_serving_bitwise() {
+        use crate::session::{CacheConfig, SessionTrace};
+        let make = || {
+            OnlineServer::new(
+                config(),
+                operator(23),
+                FaultPlan::none(),
+                ServeConfig {
+                    batch: BatchPolicy::single_bucket(4, 500_000),
+                    ..ServeConfig::default()
+                },
+            )
+        };
+        let arrivals = trace(24, 50_000.0, Some(5_000_000), 24);
+        let plain = make().serve(&arrivals).expect("healthy");
+        let sessions = make()
+            .serve_sessions(&SessionTrace::single_turn(&arrivals), CacheConfig::unbounded())
+            .expect("healthy");
+        assert_eq!(plain, sessions.serve, "degenerate session serving is bit-identical");
+        assert_eq!(sessions.cache.hits, 0);
+        assert_eq!(sessions.cache.cold, sessions.serve.served_count() as u64);
+    }
+
+    #[test]
+    fn dropped_turns_force_stale_rebuilds() {
+        use crate::session::{CacheConfig, SessionArrivalConfig, SessionTrace};
+        // An SLO so tight that some turns time out in the queue on one unit:
+        // the following turn of that session must be stale, never a hit.
+        let server = OnlineServer::new(
+            AcceleratorConfig { num_accelerators: 1, ..config() },
+            operator(25),
+            FaultPlan::none(),
+            ServeConfig { shed_unmeetable: true, ..ServeConfig::default() },
+        );
+        let cfg = SessionArrivalConfig {
+            lambda_per_s: 500_000.0,
+            sessions: 3,
+            slo_ns: Some(40_000),
+            max_decode_turns: Some(4),
+        };
+        let trace = SessionTrace::generate(&workload(), &cfg, &mut SeededRng::new(26));
+        let report = server.serve_sessions(&trace, CacheConfig::unbounded()).expect("healthy");
+        let r = &report.serve;
+        assert_eq!(
+            r.served_count() + r.shed_count() + r.timed_out_count() + r.failed_count(),
+            trace.len(),
+            "exact accounting under drops"
+        );
+        assert!(r.shed_count() + r.timed_out_count() > 0, "overload actually dropped turns");
+        // Cache classification only covers served turns.
+        assert_eq!(
+            report.cache.hits + report.cache.cold + report.cache.stale,
+            r.served_count() as u64
+        );
     }
 
     #[test]

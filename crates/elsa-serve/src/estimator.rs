@@ -65,6 +65,27 @@ impl ServiceEstimator {
         self.invocation_cycles(n) as f64 * self.config.cycle_time_s()
     }
 
+    /// Estimated cycles for one decode turn that appends `appended` tokens
+    /// to an `n`-token context and runs `appended` queries over it.
+    ///
+    /// With `cached = true` the session's incremental state (SRP
+    /// signatures, key norms) is resident, so preprocessing covers only the
+    /// appended tokens — the `O(k)` per-step hash work of
+    /// `elsa_core::session::StreamingSession::append`. With `cached = false`
+    /// (first turn, or evicted state) the whole `n`-token context is
+    /// re-preprocessed from scratch. `decode_step_cycles(n, n, false)` is
+    /// exactly [`invocation_cycles`](Self::invocation_cycles)`(n)`.
+    #[must_use]
+    pub fn decode_step_cycles(&self, n: usize, appended: usize, cached: bool) -> u64 {
+        if n == 0 || appended == 0 {
+            return 0;
+        }
+        let per_bank = vec![self.candidates_per_bank(n); self.config.p_a];
+        let ii = closed_form_query_cycles(&self.config, n, &per_bank);
+        let pre = self.config.preprocessing_cycles(if cached { appended } else { n });
+        pre + appended as u64 * ii + self.config.division_cycles()
+    }
+
     /// The offered load (requests/s of `n`-entity invocations) the whole
     /// pool can sustain: above this λ the queue grows without bound.
     ///
@@ -116,6 +137,30 @@ mod tests {
         let twelve = ServiceEstimator::new(paper(), 0.25);
         let ratio = twelve.sustainable_lambda_per_s(256) / one.sustainable_lambda_per_s(256);
         assert!((ratio - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uncached_full_decode_step_is_the_invocation_estimate() {
+        let est = ServiceEstimator::new(paper(), 0.25);
+        for n in [1usize, 64, 200, 512] {
+            assert_eq!(est.decode_step_cycles(n, n, false), est.invocation_cycles(n));
+        }
+        assert_eq!(est.decode_step_cycles(0, 0, true), 0);
+    }
+
+    #[test]
+    fn cached_decode_step_is_strictly_cheaper_for_long_contexts() {
+        let est = ServiceEstimator::new(paper(), 0.25);
+        for n in [2usize, 128, 200, 384, 512] {
+            let hit = est.decode_step_cycles(n, 1, true);
+            let miss = est.decode_step_cycles(n, 1, false);
+            assert!(hit < miss, "n={n}: hit {hit} !< miss {miss}");
+            // The saving is exactly the skipped key re-hashing.
+            assert_eq!(
+                miss - hit,
+                est.config().preprocessing_cycles(n) - est.config().preprocessing_cycles(1)
+            );
+        }
     }
 
     #[test]

@@ -25,6 +25,14 @@
 //!   `elsa_runtime::FaultTolerantServer`, emitting one [`OnlineRecord`]
 //!   per arrival and a [`ServeReport`] with queue-delay percentiles, SLO
 //!   attainment, shed/timeout accounting, and per-bucket occupancy.
+//! * [`session`] — multi-turn decode serving: replayable [`SessionTrace`]s
+//!   (each arrival is the next turn of a live session, with session
+//!   affinity in the batcher), plus the bounded decode cache — a
+//!   [`SessionRegistry`] accounting every session's incremental KV/hash
+//!   state against a capacity budget with deterministic LRU or SLO-aware
+//!   eviction. A cache hit is charged only the appended tokens'
+//!   preprocessing; an evicted session pays the full from-scratch rebuild
+//!   on its next turn.
 //!
 //! Degenerate configurations collapse onto the offline baselines: an
 //! unbounded queue, batch size 1, and a simultaneous trace reproduce
@@ -40,10 +48,15 @@ pub mod clock;
 pub mod dispatch;
 pub mod estimator;
 pub mod queue;
+pub mod session;
 
 pub use arrival::{ArrivalConfig, ArrivalRequest, ArrivalTrace, Burst};
 pub use batcher::{BatchPolicy, BatcherMode, BucketStats};
 pub use clock::VirtualClock;
-pub use dispatch::{OnlineRecord, OnlineServer, Outcome, ServeConfig, ServeReport};
+pub use dispatch::{OnlineRecord, OnlineServer, Outcome, ServeConfig, ServeReport, SessionReport};
 pub use estimator::ServiceEstimator;
 pub use queue::{AdmissionQueue, Backpressure, QueuedRequest};
+pub use session::{
+    CacheConfig, CacheStats, EvictionPolicy, SessionArrivalConfig, SessionRegistry, SessionTrace,
+    SessionTurnRequest,
+};

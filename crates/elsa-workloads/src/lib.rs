@@ -23,13 +23,17 @@
 //! * [`workload`] — the twelve model–dataset combinations of the evaluation
 //!   and batch generation for them;
 //! * [`trace`] — replayable plain-text traces pinning down exactly which
-//!   invocations an experiment ran.
+//!   invocations an experiment ran;
+//! * [`sessions`] — multi-turn decode schedules (prompt prefill + one turn
+//!   per decoded token) over the same recorded invocations, for the
+//!   incremental-decode serving path.
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
 pub mod datasets;
 pub mod models;
+pub mod sessions;
 pub mod synthetic;
 pub mod tasks;
 pub mod trace;
@@ -37,6 +41,7 @@ pub mod workload;
 
 pub use datasets::DatasetKind;
 pub use models::ModelKind;
+pub use sessions::{record_sessions, turn_inputs, SessionSpec, SessionTurn};
 pub use synthetic::AttentionPatternConfig;
 pub use trace::WorkloadTrace;
 pub use workload::Workload;

@@ -200,7 +200,7 @@ mod tests {
     fn twelve_workloads() {
         let all = Workload::all();
         assert_eq!(all.len(), 12);
-        let names: std::collections::HashSet<String> = all.iter().map(Workload::name).collect();
+        let names: std::collections::BTreeSet<String> = all.iter().map(Workload::name).collect();
         assert_eq!(names.len(), 12);
     }
 

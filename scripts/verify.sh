@@ -49,12 +49,26 @@ echo "==> flash equivalence battery (fixed seed, ELSA_THREADS=1 and 4)"
 ELSA_TESTKIT_SEED=0xE15AFA17 ELSA_THREADS=1 cargo test -q --offline --test flash_equivalence
 ELSA_TESTKIT_SEED=0xE15AFA17 ELSA_THREADS=4 cargo test -q --offline --test flash_equivalence
 
+echo "==> session equivalence battery (fixed seed, ELSA_THREADS=1 and 4)"
+# The incremental decode session promises bitwise equality with from-scratch
+# preprocessing (signatures, norms, candidate sets, output rows — 0 ulp)
+# across the workload zoo, plus the eviction-model properties; run it under
+# a pinned seed at both thread counts so a failure reproduces.
+ELSA_TESTKIT_SEED=0xE15AFA17 ELSA_THREADS=1 cargo test -q --offline --test session_equivalence
+ELSA_TESTKIT_SEED=0xE15AFA17 ELSA_THREADS=4 cargo test -q --offline --test session_equivalence
+
 echo "==> flash accounting regression (bench_flash vs committed BENCH_flash.json)"
 # bench_flash reads no wall clock: every value is an analytic FLOP/byte
 # count or a deterministic model cycle count from pinned seeds, so the
 # output must reproduce the committed file byte-for-byte on any host.
 cargo run -q --release --offline -p elsa-bench --bin bench_flash | diff - BENCH_flash.json \
   || { echo "FAIL: bench_flash output diverged from committed BENCH_flash.json"; exit 1; }
+
+echo "==> session cache regression (bench_session vs committed BENCH_session.json)"
+# bench_session is equally host-independent: closed-form decode-step cycles
+# and the deterministic cache registry from pinned seeds, byte-for-byte.
+cargo run -q --release --offline -p elsa-bench --bin bench_session | diff - BENCH_session.json \
+  || { echo "FAIL: bench_session output diverged from committed BENCH_session.json"; exit 1; }
 
 echo "==> bench smoke runs (each benchmark body once)"
 cargo test -q --offline --workspace --benches

@@ -17,6 +17,13 @@
 //! * **(d) Padding waste** — length-bucketed (ELSA) batching sustains at
 //!   least the throughput of the pad-to-batch-max (GPU-style) emulation on
 //!   a mixed-length trace, because padding only ever adds rows.
+//! * **(e) Multi-turn sessions** — with session-affinity batching and a
+//!   bounded decode cache in play, the exact-accounting identity
+//!   (`offered = served + shed + timed-out + failed`, and
+//!   `hits + cold + stale = served`) still holds and the whole
+//!   [`SessionReport`] is bit-identical across worker counts; the
+//!   degenerate configuration (capacity = ∞, single-turn traces) stays
+//!   bit-identical to today's [`OnlineServer::serve`].
 //!
 //! Reproduce any failure with the reported seed:
 //! `ELSA_TESTKIT_SEED=0x... cargo test --test online_serving`.
@@ -29,8 +36,9 @@ use elsa::linalg::SeededRng;
 use elsa::parallel::with_threads;
 use elsa::runtime::InferenceServer;
 use elsa::serve::{
-    ArrivalConfig, ArrivalTrace, Backpressure, BatchPolicy, BatcherMode, OnlineServer, Outcome,
-    ServeConfig, ServeReport,
+    ArrivalConfig, ArrivalTrace, Backpressure, BatchPolicy, BatcherMode, CacheConfig,
+    EvictionPolicy, OnlineServer, Outcome, ServeConfig, ServeReport, SessionArrivalConfig,
+    SessionTrace,
 };
 use elsa::sim::AcceleratorConfig;
 use elsa::workloads::trace::WorkloadTrace;
@@ -283,5 +291,113 @@ fn bucketed_batching_sustains_at_least_padded_throughput() {
     // Per-request: padding can only add work.
     for (bu, pa) in bucketed.records.iter().zip(&padded.records) {
         assert!(pa.service_s >= bu.service_s, "request {} got cheaper when padded", bu.id);
+    }
+}
+
+// ---- (e) multi-turn sessions: eviction rebuilds + degenerate equivalence ----
+
+#[test]
+fn multi_turn_accounting_is_exact_under_eviction_and_replays_across_threads() {
+    // Eight interleaved sessions (resident peak ≈ 185 KB unbounded) against
+    // a 60 KB cache — room for roughly two of them: evictions (and the
+    // stale rebuilds they force) are guaranteed to be in play, which is
+    // exactly when the accounting identities must not bend.
+    let trace = SessionTrace::generate(
+        &workload(),
+        &SessionArrivalConfig {
+            lambda_per_s: 100_000.0,
+            sessions: 8,
+            slo_ns: Some(2_000_000),
+            max_decode_turns: Some(5),
+        },
+        &mut SeededRng::new(0x5E55),
+    );
+    let server = OnlineServer::new(
+        config(),
+        operator().clone(),
+        FaultPlan::none(),
+        ServeConfig {
+            batch: BatchPolicy { max_batch: 4, max_wait_ns: 50_000, length_buckets: vec![96, 200] },
+            shed_unmeetable: true,
+            ..ServeConfig::default()
+        },
+    );
+    for policy in [EvictionPolicy::Lru, EvictionPolicy::SloAware] {
+        let cache = CacheConfig { capacity_bytes: Some(60_000), policy };
+        let baseline =
+            with_threads(1, || server.serve_sessions(&trace, cache).expect("healthy pool"));
+        // Accounting identity over the turn outcomes...
+        let serve = &baseline.serve;
+        assert_eq!(
+            serve.served_count()
+                + serve.shed_count()
+                + serve.timed_out_count()
+                + serve.failed_count(),
+            serve.offered_count(),
+            "turn accounting must be exact ({policy:?})"
+        );
+        assert_eq!(serve.offered_count(), trace.len());
+        // ...and over the cache classification of the served turns.
+        let cache_stats = baseline.cache;
+        assert_eq!(
+            cache_stats.hits + cache_stats.cold + cache_stats.stale,
+            serve.served_count() as u64,
+            "every served turn is exactly one of hit/cold/stale ({policy:?})"
+        );
+        assert!(cache_stats.evictions > 0, "the bound must actually evict ({policy:?})");
+        assert!(
+            cache_stats.stale > 0 && cache_stats.rebuilt_tokens > 0,
+            "evicted sessions must pay a from-scratch rebuild on return ({policy:?})"
+        );
+        assert!(cache_stats.hits > 0, "surviving sessions must still hit ({policy:?})");
+        assert!(cache_stats.peak_bytes <= 60_000 + 200 * 528, "peak before eviction bound");
+        // The whole report — records, bucket stats, cache stats — replays
+        // bit-identically at every worker count.
+        for workers in WORKER_COUNTS {
+            let report =
+                with_threads(workers, || server.serve_sessions(&trace, cache).expect("healthy"));
+            assert_eq!(report_bits(&baseline.serve), report_bits(&report.serve));
+            assert_eq!(baseline, report, "{workers} workers diverged ({policy:?})");
+        }
+    }
+}
+
+#[test]
+fn degenerate_session_serving_matches_plain_online_server_bitwise() {
+    // Single-turn sessions + an unbounded cache must collapse onto the
+    // plain pipeline: same records, same bucket stats, bit for bit — the
+    // session layer is a pure extension, not a reinterpretation.
+    let arrivals = ArrivalTrace::generate(
+        &workload(),
+        &ArrivalConfig { slo_ns: Some(500_000), ..ArrivalConfig::poisson(150_000.0, 36) },
+        &mut SeededRng::new(0x5E56),
+    );
+    let server = OnlineServer::new(
+        config(),
+        operator().clone(),
+        FaultPlan::none(),
+        ServeConfig {
+            queue_capacity: Some(16),
+            backpressure: Backpressure::ShedNewest,
+            batch: BatchPolicy { max_batch: 4, max_wait_ns: 50_000, length_buckets: vec![96, 200] },
+            shed_unmeetable: true,
+            ..ServeConfig::default()
+        },
+    );
+    let sessions = SessionTrace::single_turn(&arrivals);
+    for workers in WORKER_COUNTS {
+        let (plain, session) = with_threads(workers, || {
+            (
+                server.serve(&arrivals).expect("healthy pool"),
+                server.serve_sessions(&sessions, CacheConfig::unbounded()).expect("healthy pool"),
+            )
+        });
+        assert_eq!(report_bits(&plain), report_bits(&session.serve), "threads={workers}");
+        assert_eq!(plain, session.serve, "threads={workers}");
+        // One-turn sessions can never hit or go stale, and nothing evicts.
+        assert_eq!(session.cache.hits, 0);
+        assert_eq!(session.cache.stale, 0);
+        assert_eq!(session.cache.evictions, 0);
+        assert_eq!(session.cache.cold, plain.served_count() as u64);
     }
 }
